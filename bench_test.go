@@ -1,0 +1,280 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (see the experiment index in DESIGN.md), plus
+// micro-benchmarks of the kernels on the paper's critical path.
+//
+// The macro benchmarks report domain metrics via b.ReportMetric (final
+// accuracy, overhead percentages, drift ratios) so `go test -bench` output
+// doubles as the measured column of EXPERIMENTS.md.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gar"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// benchScale keeps each macro-benchmark iteration around a second on a
+// single CPU. Use cmd/guanyu-bench -full for paper-leaning run lengths.
+var benchScale = experiments.Scale{Steps: 30, Batch: 8, SmallBatch: 4, Examples: 400, Seed: 42}
+
+// ---------------------------------------------------------------------------
+// Macro benchmarks: one per experiment id.
+// ---------------------------------------------------------------------------
+
+// BenchmarkTable1ModelBuild regenerates Table 1 (CNN architecture).
+func BenchmarkTable1ModelBuild(b *testing.B) {
+	var params int
+	for i := 0; i < b.N; i++ {
+		m := nn.NewCIFARNet(tensor.NewRNG(1))
+		params = m.ParamCount()
+	}
+	b.ReportMetric(float64(params), "params")
+}
+
+// BenchmarkFig3aConvergencePerUpdate regenerates Figure 3(a)/(c): the five
+// systems' accuracy per model update.
+func BenchmarkFig3aConvergencePerUpdate(b *testing.B) {
+	var final float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final = r.LargeBatch[len(r.LargeBatch)-1].FinalAccuracy()
+	}
+	b.ReportMetric(final, "final-acc")
+}
+
+// BenchmarkFig3bConvergencePerTime regenerates Figure 3(b)/(d): the same
+// systems against the virtual-time axis; the reported metric is the ratio of
+// GuanYu(5,1) virtual time to vanilla TF virtual time for the same steps.
+func BenchmarkFig3bConvergencePerTime(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		curves := r.LargeBatch
+		tTF := curves[0].Points[len(curves[0].Points)-1].Time
+		tGY := curves[4].Points[len(curves[4].Points)-1].Time
+		ratio = tGY / tTF
+	}
+	b.ReportMetric(ratio, "time-ratio")
+}
+
+// BenchmarkFig4ByzantineImpact regenerates Figure 4; the metric is the
+// accuracy gap between GuanYu-under-attack and vanilla-under-attack.
+func BenchmarkFig4ByzantineImpact(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = r.GuanYuByzantine.FinalAccuracy() - r.VanillaByzantine.FinalAccuracy()
+	}
+	b.ReportMetric(gap, "acc-gap")
+}
+
+// BenchmarkTable2Alignment regenerates Table 2; the metric is the mean
+// cos φ over the recorded probes (paper: ≈ 0.98–0.99).
+func BenchmarkTable2Alignment(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		recs, err := experiments.Table2(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) == 0 {
+			b.Fatal("no alignment records")
+		}
+		var s float64
+		for _, r := range recs {
+			s += r.CosPhi
+		}
+		mean = s / float64(len(recs))
+	}
+	b.ReportMetric(mean, "mean-cos-phi")
+}
+
+// BenchmarkOverheadBreakdown regenerates the Section-5.3 numbers.
+func BenchmarkOverheadBreakdown(b *testing.B) {
+	var runtimePct, byzPct float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Overhead(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runtimePct, byzPct = r.RuntimeOverheadPct, r.ByzantineOverheadPct
+	}
+	b.ReportMetric(runtimePct, "runtime-overhead-%")
+	b.ReportMetric(byzPct, "byz-overhead-%")
+}
+
+// BenchmarkContraction is the phase-3 ablation; metric: drift ratio
+// (no-exchange / exchange).
+func BenchmarkContraction(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Contraction(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.DriftWithout / r.DriftWith
+	}
+	b.ReportMetric(ratio, "drift-ratio")
+}
+
+// BenchmarkQuorumSweep is the declared-f̄ trade-off sweep; metric: throughput
+// loss factor between f̄=0 and f̄=5.
+func BenchmarkQuorumSweep(b *testing.B) {
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.QuorumSweep(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		factor = rows[0].Throughput / rows[len(rows)-1].Throughput
+	}
+	b.ReportMetric(factor, "throughput-factor")
+}
+
+// BenchmarkGARAblation compares server-side rules under attack; metric: the
+// accuracy margin of Multi-Krum over mean.
+func BenchmarkGARAblation(b *testing.B) {
+	var margin float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.GARAblation(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byName := map[string]float64{}
+		for _, r := range rows {
+			byName[r.Rule] = r.FinalAccuracy
+		}
+		margin = byName["multi-krum(f=5)"] - byName["mean"]
+	}
+	b.ReportMetric(margin, "krum-margin")
+}
+
+// BenchmarkAsyncSweep varies the latency tail weight; metric: the virtual-
+// time ratio between the heaviest-tailed and the deterministic network
+// (accuracy should stay flat — checked in the experiments tests).
+func BenchmarkAsyncSweep(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AsyncSweep(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = rows[len(rows)-1].VirtualTime / rows[0].VirtualTime
+	}
+	b.ReportMetric(ratio, "time-ratio")
+}
+
+// ---------------------------------------------------------------------------
+// Micro benchmarks: the kernels on the protocol's critical path, at the
+// paper's aggregation fan-in (q̄ = 13 gradients) and the tiny CNN dimension.
+// ---------------------------------------------------------------------------
+
+func benchVectors(n, d int) []tensor.Vector {
+	rng := tensor.NewRNG(7)
+	vs := make([]tensor.Vector, n)
+	for i := range vs {
+		vs[i] = rng.NormVec(make(tensor.Vector, d), 0, 1)
+	}
+	return vs
+}
+
+func benchRule(b *testing.B, r gar.Rule, n, d int) {
+	b.Helper()
+	vs := benchVectors(n, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Aggregate(vs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGARMean13x2726(b *testing.B)        { benchRule(b, gar.Mean{}, 13, 2726) }
+func BenchmarkGARMedian13x2726(b *testing.B)      { benchRule(b, gar.Median{}, 13, 2726) }
+func BenchmarkGARMultiKrum13x2726(b *testing.B)   { benchRule(b, gar.MultiKrum{F: 5}, 13, 2726) }
+func BenchmarkGARTrimmedMean13x2726(b *testing.B) { benchRule(b, gar.TrimmedMean{F: 5}, 13, 2726) }
+func BenchmarkGARBulyan23x2726(b *testing.B)      { benchRule(b, gar.Bulyan{F: 5}, 23, 2726) }
+
+// BenchmarkGradientTinyConvNet measures the worker-side gradient estimation
+// (batch of 16 on the harness CNN).
+func BenchmarkGradientTinyConvNet(b *testing.B) {
+	rng := tensor.NewRNG(9)
+	m := nn.NewTinyConvNet(rng, 10)
+	xs := make([][]float64, 16)
+	labels := make([]int, 16)
+	for i := range xs {
+		xs[i] = rng.NormVec(make([]float64, 3*8*8), 0, 1)
+		labels[i] = i % 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.BatchGradient(m, xs, labels)
+	}
+}
+
+// BenchmarkCIFARNetForward measures one forward pass of the full Table-1
+// network (1.75M parameters).
+func BenchmarkCIFARNetForward(b *testing.B) {
+	rng := tensor.NewRNG(10)
+	m := nn.NewCIFARNet(rng)
+	x := rng.NormVec(make([]float64, 3*32*32), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+// BenchmarkAttackCorrupt measures the per-message cost of the heaviest
+// attack (fresh Gaussian vector per receiver).
+func BenchmarkAttackCorrupt(b *testing.B) {
+	a := attack.NewRandomGaussian(100, 1)
+	honest := make(tensor.Vector, 2726)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Corrupt(honest, i, "ps0")
+	}
+}
+
+// BenchmarkParamRoundTrip measures the model flatten/scatter pair every
+// node performs each step.
+func BenchmarkParamRoundTrip(b *testing.B) {
+	m := nn.NewTinyConvNet(tensor.NewRNG(11), 10)
+	theta := m.ParamVector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.SetParamVector(theta); err != nil {
+			b.Fatal(err)
+		}
+		theta = m.ParamVector()
+	}
+}
+
+// BenchmarkEndToEndGuanYuStepBlob measures one full simulated GuanYu step
+// (6 servers, 6 workers) on the blob workload.
+func BenchmarkEndToEndGuanYuStepBlob(b *testing.B) {
+	w := core.BlobWorkload(300, 5)
+	cfg := core.GuanYu(w, 1, 1, 1, 8, 5)
+	cfg.NumWorkers = 6
+	cfg.FWorkers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Steps = 1
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

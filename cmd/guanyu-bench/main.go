@@ -1,0 +1,145 @@
+// Command guanyu-bench regenerates the paper's evaluation: every table and
+// figure of Section 5 plus the design-choice ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	guanyu-bench -exp all            # everything, CI scale
+//	guanyu-bench -exp fig3 -full     # one experiment, paper-leaning scale
+//	guanyu-bench -list               # show experiment ids
+//
+// Output is plain text, one table/series block per experiment, with the
+// paper's expected shape quoted next to each measurement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "guanyu-bench:", err)
+		os.Exit(1)
+	}
+}
+
+var order = []string{"table1", "fig3", "fig4", "table2", "overhead",
+	"contraction", "quorum", "gar", "async", "noniid"}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("guanyu-bench", flag.ContinueOnError)
+	var (
+		exp  = fs.String("exp", "all", "experiment id or 'all'")
+		full = fs.Bool("full", false, "use the larger (slower) scale")
+		list = fs.Bool("list", false, "list experiment ids and exit")
+		seed = fs.Uint64("seed", 42, "experiment seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range order {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+	scale.Seed = *seed
+
+	selected := map[string]bool{}
+	if *exp == "all" {
+		for _, id := range order {
+			selected[id] = true
+		}
+	} else {
+		selected[*exp] = true
+	}
+
+	ran := 0
+	for _, id := range order {
+		if !selected[id] {
+			continue
+		}
+		if err := runOne(id, scale, out); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q (try -list)", *exp)
+	}
+	return nil
+}
+
+func runOne(id string, scale experiments.Scale, out io.Writer) error {
+	switch id {
+	case "table1":
+		fmt.Fprint(out, experiments.Table1())
+	case "fig3":
+		r, err := experiments.Fig3(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Format(scale))
+	case "fig4":
+		r, err := experiments.Fig4(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Format())
+	case "table2":
+		recs, err := experiments.Table2(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, stats.FormatAlignmentTable(recs))
+	case "overhead":
+		r, err := experiments.Overhead(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Format())
+	case "contraction":
+		r, err := experiments.Contraction(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Format())
+	case "quorum":
+		rows, err := experiments.QuorumSweep(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatQuorumSweep(rows))
+	case "gar":
+		rows, err := experiments.GARAblation(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatGARAblation(rows))
+	case "async":
+		rows, err := experiments.AsyncSweep(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatAsyncSweep(rows))
+	case "noniid":
+		rows, err := experiments.NonIID(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatNonIID(rows))
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range order {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("list missing %q:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig99"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable1Experiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1756426") {
+		t.Fatalf("table1 output missing param count:\n%s", out.String())
+	}
+}
+
+func TestRunOneSmallExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiments")
+	}
+	tiny := experiments.Scale{Steps: 20, Batch: 8, SmallBatch: 4, Examples: 300, Seed: 5}
+	for _, id := range []string{"fig4", "contraction", "quorum"} {
+		var out strings.Builder
+		if err := runOne(id, tiny, &out); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFullDeploymentSmoke boots a complete 6-server/6-worker deployment,
+// each node through the same entry point an OS process would use, over real
+// TCP sockets on fixed localhost ports. One worker runs Byzantine.
+func TestFullDeploymentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots 12 TCP nodes")
+	}
+	const base = 17320
+	var peerList []string
+	for i := 0; i < 6; i++ {
+		peerList = append(peerList, fmt.Sprintf("ps%d=127.0.0.1:%d", i, base+i))
+	}
+	for j := 0; j < 6; j++ {
+		peerList = append(peerList, fmt.Sprintf("wrk%d=127.0.0.1:%d", j, base+6+j))
+	}
+	peers := strings.Join(peerList, ",")
+
+	common := []string{"-peers", peers, "-fservers", "1", "-fworkers", "1",
+		"-steps", "8", "-batch", "8", "-examples", "300", "-seed", "9",
+		"-timeout", "60s"}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+		outs []string
+	)
+	launch := func(args []string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out strings.Builder
+			if err := run(args, &out); err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			outs = append(outs, out.String())
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		args := append([]string{"-role", "server", "-id", fmt.Sprintf("ps%d", i),
+			"-listen", fmt.Sprintf("127.0.0.1:%d", base+i)}, common...)
+		launch(args)
+	}
+	for j := 0; j < 6; j++ {
+		args := append([]string{"-role", "worker", "-id", fmt.Sprintf("wrk%d", j),
+			"-listen", fmt.Sprintf("127.0.0.1:%d", base+6+j)}, common...)
+		if j == 5 {
+			args = append(args, "-byzantine", "signflip")
+		}
+		launch(args)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		t.Fatalf("deployment failed: %v", errs[0])
+	}
+	finished := 0
+	for _, o := range outs {
+		if strings.Contains(o, "finished") {
+			finished++
+		}
+	}
+	if finished != 12 {
+		t.Fatalf("only %d/12 nodes reported finishing", finished)
+	}
+}

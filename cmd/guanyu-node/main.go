@@ -1,0 +1,268 @@
+// Command guanyu-node runs a single GuanYu node — one parameter server or
+// one worker — as its own OS process over TCP, so a deployment is N
+// independent processes exactly as on the paper's testbed.
+//
+// Every process deterministically regenerates the same synthetic workload
+// and model initialisation from -seed, so no data distribution step is
+// needed. A 6-server/6-worker deployment on one machine:
+//
+//	for i in 0 1 2 3 4 5; do
+//	  guanyu-node -role server -id ps$i -listen 127.0.0.1:$((7000+i)) \
+//	    -peers "$PEERS" -fservers 1 -fworkers 1 -steps 100 &
+//	done
+//	for j in 0 1 2 3 4 5; do
+//	  guanyu-node -role worker -id wrk$j -listen 127.0.0.1:$((8000+j)) \
+//	    -peers "$PEERS" -fservers 1 -fworkers 1 -steps 100 &
+//	done
+//
+// where $PEERS lists every node as "id=host:port,...". Server ps0 prints
+// the final test accuracy when it finishes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gar"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "guanyu-node:", err)
+		os.Exit(1)
+	}
+}
+
+type nodeConfig struct {
+	role     string
+	id       string
+	listen   string
+	peers    map[string]string
+	fServers int
+	fWorkers int
+	steps    int
+	batch    int
+	seed     uint64
+	examples int
+	byzMode  string
+	ckptPath string
+	timeout  time.Duration
+}
+
+func parseFlags(args []string) (*nodeConfig, error) {
+	fs := flag.NewFlagSet("guanyu-node", flag.ContinueOnError)
+	var (
+		role     = fs.String("role", "", "node role: server | worker")
+		id       = fs.String("id", "", "node id (ps<i> or wrk<j>)")
+		listen   = fs.String("listen", "127.0.0.1:0", "listen address")
+		peers    = fs.String("peers", "", "comma-separated id=addr pairs for every node")
+		fServers = fs.Int("fservers", 1, "declared Byzantine servers")
+		fWorkers = fs.Int("fworkers", 1, "declared Byzantine workers")
+		steps    = fs.Int("steps", 100, "learning steps")
+		batch    = fs.Int("batch", 16, "mini-batch size")
+		seed     = fs.Uint64("seed", 1, "deployment seed (shared by all nodes)")
+		examples = fs.Int("examples", 1200, "synthetic dataset size")
+		byzMode  = fs.String("byzantine", "", "make THIS node Byzantine: random | signflip | silent")
+		ckpt     = fs.String("checkpoint", "", "server only: write the final model here")
+		timeout  = fs.Duration("timeout", 5*time.Minute, "per-quorum timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *role != "server" && *role != "worker" {
+		return nil, fmt.Errorf("-role must be server or worker, got %q", *role)
+	}
+	if *id == "" {
+		return nil, fmt.Errorf("-id is required")
+	}
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := peerMap[*id]; !ok {
+		return nil, fmt.Errorf("-peers must include this node's id %q", *id)
+	}
+	return &nodeConfig{
+		role: *role, id: *id, listen: *listen, peers: peerMap,
+		fServers: *fServers, fWorkers: *fWorkers,
+		steps: *steps, batch: *batch, seed: *seed, examples: *examples,
+		byzMode: *byzMode, ckptPath: *ckpt, timeout: *timeout,
+	}, nil
+}
+
+// parsePeers parses "id=addr,id=addr" into a map.
+func parsePeers(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("-peers is required")
+	}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		kv := strings.SplitN(pair, "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad peer entry %q (want id=addr)", pair)
+		}
+		if _, dup := out[kv[0]]; dup {
+			return nil, fmt.Errorf("duplicate peer id %q", kv[0])
+		}
+		out[kv[0]] = kv[1]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return out, nil
+}
+
+// splitRoles partitions the address book into server and worker ids by the
+// naming convention (ps* / wrk*), sorted for determinism.
+func splitRoles(peers map[string]string) (servers, workers []string, err error) {
+	for id := range peers {
+		switch {
+		case strings.HasPrefix(id, "ps"):
+			servers = append(servers, id)
+		case strings.HasPrefix(id, "wrk"):
+			workers = append(workers, id)
+		default:
+			return nil, nil, fmt.Errorf("peer id %q matches neither ps* nor wrk*", id)
+		}
+	}
+	sort.Strings(servers)
+	sort.Strings(workers)
+	return servers, workers, nil
+}
+
+func mkAttack(mode string, seed uint64) (attack.Attack, error) {
+	switch mode {
+	case "":
+		return nil, nil
+	case "random":
+		return attack.NewRandomGaussian(100, seed), nil
+	case "signflip":
+		return attack.SignFlip{Scale: 30}, nil
+	case "silent":
+		return attack.Silent{}, nil
+	default:
+		return nil, fmt.Errorf("unknown -byzantine mode %q", mode)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	servers, workers, err := splitRoles(cfg.peers)
+	if err != nil {
+		return err
+	}
+	if err := gar.CheckDeployment("server", len(servers), cfg.fServers); err != nil {
+		return err
+	}
+	if err := gar.CheckDeployment("worker", len(workers), cfg.fWorkers); err != nil {
+		return err
+	}
+
+	// Every process regenerates the identical workload and θ₀ from -seed.
+	w := core.ImageWorkload(cfg.examples, cfg.seed)
+	att, err := mkAttack(cfg.byzMode, cfg.seed+hashID(cfg.id))
+	if err != nil {
+		return err
+	}
+
+	node, err := transport.ListenTCP(cfg.id, cfg.listen, nil)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	for id, addr := range cfg.peers {
+		if id != cfg.id {
+			if err := node.AddPeer(id, addr); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(out, "%s listening on %s (%d servers, %d workers)\n",
+		cfg.id, node.Addr(), len(servers), len(workers))
+
+	switch cfg.role {
+	case "server":
+		peersOnly := make([]string, 0, len(servers)-1)
+		for _, id := range servers {
+			if id != cfg.id {
+				peersOnly = append(peersOnly, id)
+			}
+		}
+		theta, err := cluster.RunServer(node, cluster.ServerConfig{
+			ID: cfg.id, Workers: workers, Peers: peersOnly,
+			Init:     w.Model.ParamVector(),
+			GradRule: gar.MultiKrum{F: cfg.fWorkers}, ParamRule: gar.Median{},
+			QuorumGradients: gar.MinQuorum(cfg.fWorkers),
+			QuorumParams:    gar.MinQuorum(cfg.fServers),
+			Steps:           cfg.steps,
+			LR:              core.InverseTimeLR(0.05, 300),
+			Timeout:         cfg.timeout,
+			Attack:          att,
+		})
+		if err != nil {
+			return err
+		}
+		eval := w.Model.Clone()
+		if err := eval.SetParamVector(theta); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s finished %d steps; local test accuracy %.4f\n",
+			cfg.id, cfg.steps, nn.Accuracy(eval, w.Test.X, w.Test.Labels))
+		if cfg.ckptPath != "" {
+			f, err := os.Create(cfg.ckptPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := nn.SaveCheckpoint(f, eval, cfg.steps); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s wrote checkpoint to %s\n", cfg.id, cfg.ckptPath)
+		}
+	case "worker":
+		err := cluster.RunWorker(node, cluster.WorkerConfig{
+			ID: cfg.id, Servers: servers,
+			Model:   w.Model.Clone(),
+			Sampler: dataset.NewSampler(w.Train, tensor.NewRNG(cfg.seed^hashID(cfg.id))),
+			Batch:   cfg.batch, ParamRule: gar.Median{},
+			QuorumParams: gar.MinQuorum(cfg.fServers),
+			Steps:        cfg.steps,
+			Timeout:      cfg.timeout,
+			Attack:       att,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s finished %d steps\n", cfg.id, cfg.steps)
+	}
+	return nil
+}
+
+// hashID derives a per-node seed offset from its name (FNV-1a).
+func hashID(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	m, err := parsePeers("ps0=127.0.0.1:7000, wrk0=127.0.0.1:8000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["ps0"] != "127.0.0.1:7000" || m["wrk0"] != "127.0.0.1:8000" {
+		t.Fatalf("parsed %v", m)
+	}
+	for _, bad := range []string{"", "noequals", "=addr", "id=", "a=1,a=2"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Fatalf("accepted bad peers %q", bad)
+		}
+	}
+}
+
+func TestSplitRoles(t *testing.T) {
+	servers, workers, err := splitRoles(map[string]string{
+		"ps1": "a", "ps0": "b", "wrk0": "c",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(servers) != 2 || servers[0] != "ps0" || servers[1] != "ps1" {
+		t.Fatalf("servers %v", servers)
+	}
+	if len(workers) != 1 || workers[0] != "wrk0" {
+		t.Fatalf("workers %v", workers)
+	}
+	if _, _, err := splitRoles(map[string]string{"node0": "x"}); err == nil {
+		t.Fatal("bad id accepted")
+	}
+}
+
+func TestParseFlagsValidation(t *testing.T) {
+	cases := [][]string{
+		{},                  // role missing
+		{"-role", "server"}, // id missing
+		{"-role", "boss", "-id", "x", "-peers", "x=1"},       // bad role
+		{"-role", "server", "-id", "ps0", "-peers", "ps1=1"}, // self missing from peers
+	}
+	for i, args := range cases {
+		if _, err := parseFlags(args); err == nil {
+			t.Fatalf("case %d accepted: %v", i, args)
+		}
+	}
+	cfg, err := parseFlags([]string{"-role", "worker", "-id", "wrk0",
+		"-peers", "wrk0=127.0.0.1:1,ps0=127.0.0.1:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.role != "worker" || cfg.id != "wrk0" || len(cfg.peers) != 2 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+}
+
+func TestMkAttack(t *testing.T) {
+	if a, err := mkAttack("", 1); err != nil || a != nil {
+		t.Fatal("empty mode should be honest")
+	}
+	for _, mode := range []string{"random", "signflip", "silent"} {
+		if a, err := mkAttack(mode, 1); err != nil || a == nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+	}
+	if _, err := mkAttack("bogus", 1); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+func TestRunRejectsTooFewNodes(t *testing.T) {
+	err := run([]string{"-role", "server", "-id", "ps0",
+		"-peers", "ps0=127.0.0.1:0,wrk0=127.0.0.1:1",
+		"-fservers", "1", "-fworkers", "1"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "3f+3") {
+		t.Fatalf("deployment bound not enforced: %v", err)
+	}
+}
+
+func TestHashIDStableAndDistinct(t *testing.T) {
+	if hashID("wrk0") != hashID("wrk0") {
+		t.Fatal("hash not stable")
+	}
+	if hashID("wrk0") == hashID("wrk1") {
+		t.Fatal("hash collision on adjacent ids")
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunGuanYuMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro run")
+	}
+	var out strings.Builder
+	err := run([]string{"-mode", "guanyu", "-steps", "30", "-batch", "8",
+		"-examples", "400", "-byz-workers", "2", "-attack", "signflip"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GuanYu (fwrk=5, fps=1)", "final accuracy", "virtual time"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunVanillaMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro run")
+	}
+	var out strings.Builder
+	err := run([]string{"-mode", "vanilla", "-steps", "20", "-batch", "8",
+		"-examples", "300"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "vanilla TF") {
+		t.Fatalf("output missing curve name:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "nope"}, &out); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if err := run([]string{"-attack", "nope", "-byz-workers", "1"}, &out); err == nil {
+		t.Fatal("bad attack accepted")
+	}
+}
+
+func TestAttackFactoryCoversAll(t *testing.T) {
+	for _, name := range []string{"random", "signflip", "scaled", "zero", "nan", "twofaced", "silent"} {
+		mk, err := attackFactory(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if mk(0) == nil {
+			t.Fatalf("%s: nil attack", name)
+		}
+	}
+	if _, err := attackFactory("bogus", 1); err == nil {
+		t.Fatal("bogus attack accepted")
+	}
+}

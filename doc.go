@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Genuinely Distributed
+// Byzantine Machine Learning" (El-Mhamdi, Guerraoui, Guirguis, Rouault —
+// PODC 2020): the GuanYu algorithm, the first distributed SGD protocol
+// tolerating Byzantine parameter servers as well as Byzantine workers under
+// full network asynchrony.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), the runnable entry points under cmd/ and examples/, and the
+// benchmark harness regenerating every table and figure of the paper's
+// evaluation in bench_test.go at this root.
+package repro

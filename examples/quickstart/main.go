@@ -1,0 +1,59 @@
+// Quickstart: train a model with GuanYu and survive Byzantine participants.
+//
+// This example sets up the paper's deployment — 6 parameter servers (1
+// Byzantine) and 18 workers (5 Byzantine) — on a synthetic 10-class image
+// task, runs a few hundred steps, and prints the convergence curve. Compare
+// with the vanilla run at the end, which a single Byzantine worker destroys.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+)
+
+func main() {
+	// A workload = model template + train/test data. ImageWorkload is the
+	// CIFAR-10 stand-in: 10 procedurally generated image classes.
+	workload := core.ImageWorkload(1200, 1)
+
+	// GuanYu deployment: declared f̄=5 Byzantine workers, f=1 Byzantine
+	// server (quorums q̄=13, q=5 follow from 2f+3).
+	cfg := core.GuanYu(workload, 5, 1, 150, 16, 1)
+
+	// Make 5 workers and 1 server *actually* Byzantine.
+	cfg = core.WithByzantineWorkers(cfg, 5, func(i int) attack.Attack {
+		return attack.SignFlip{Scale: 30} // gradient-ascent corruption
+	})
+	cfg = core.WithByzantineServers(cfg, 1, func(i int) attack.Attack {
+		// Equivocates: honest model to half the workers, garbage to the rest.
+		return attack.TwoFaced{Inner: attack.NewRandomGaussian(100, 7)}
+	})
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("GuanYu under attack (5 Byzantine workers, 1 Byzantine server):")
+	for _, p := range res.Curve.Points {
+		fmt.Printf("  update %4d  t=%7.2fs  accuracy %.3f\n", p.Step, p.Time, p.Accuracy)
+	}
+	fmt.Printf("final accuracy: %.3f\n\n", res.FinalAccuracy)
+
+	// The same attack against the unprotected baseline.
+	vanilla := core.VanillaTF(core.ImageWorkload(1200, 1), 150, 16, 1)
+	vanilla = core.WithByzantineWorkers(vanilla, 1, func(int) attack.Attack {
+		return attack.SignFlip{Scale: 30}
+	})
+	vres, err := core.Run(vanilla)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vanilla baseline with just ONE Byzantine worker: final accuracy %.3f\n",
+		vres.FinalAccuracy)
+	fmt.Println("(GuanYu converges; the vanilla deployment does not — Figure 4 of the paper.)")
+}

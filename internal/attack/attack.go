@@ -1,0 +1,188 @@
+// Package attack implements the Byzantine behaviours evaluated in the paper
+// (Section 5.1/5.4): corrupted gradients, corrupted parameter vectors,
+// different replies to different participants (two-faced / equivocation),
+// and not responding at all. Attacks apply to both roles — a Byzantine
+// worker corrupts the gradient it sends to servers; a Byzantine parameter
+// server corrupts the model it sends to workers and to its peers.
+//
+// The adversary in the model is omniscient (it may read every honest value)
+// but not omnipotent (it can only speak through the nodes it controls);
+// accordingly, every Attack receives the honest vector the node would have
+// sent and returns an arbitrary replacement.
+package attack
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Attack transforms the message a Byzantine node sends. Implementations are
+// safe for concurrent use (a node broadcasts to many receivers).
+type Attack interface {
+	// Name identifies the attack in logs and experiment tables.
+	Name() string
+	// Corrupt returns the vector actually sent to receiver at the given
+	// step, given the vector an honest node would have sent. Returning nil
+	// means "send nothing to this receiver".
+	Corrupt(honest tensor.Vector, step int, receiver string) tensor.Vector
+}
+
+// RandomGaussian replaces the honest vector with i.i.d. Gaussian noise of
+// the given standard deviation — the paper's "totally corrupted data
+// compared to the correct one" behaviour.
+type RandomGaussian struct {
+	mu  sync.Mutex
+	std float64
+	rng *tensor.RNG
+}
+
+var _ Attack = (*RandomGaussian)(nil)
+
+// NewRandomGaussian builds the attack with its own seeded generator.
+func NewRandomGaussian(std float64, seed uint64) *RandomGaussian {
+	return &RandomGaussian{std: std, rng: tensor.NewRNG(seed)}
+}
+
+// Name implements Attack.
+func (*RandomGaussian) Name() string { return "random-gaussian" }
+
+// Corrupt implements Attack.
+func (a *RandomGaussian) Corrupt(honest tensor.Vector, _ int, _ string) tensor.Vector {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rng.NormVec(make(tensor.Vector, len(honest)), 0, a.std)
+}
+
+// SignFlip sends −Scale times the honest vector: a gradient-ascent attack
+// that actively pushes the model away from convergence.
+type SignFlip struct {
+	// Scale multiplies the negated vector (≥ 1 amplifies the push).
+	Scale float64
+}
+
+var _ Attack = SignFlip{}
+
+// Name implements Attack.
+func (SignFlip) Name() string { return "sign-flip" }
+
+// Corrupt implements Attack.
+func (a SignFlip) Corrupt(honest tensor.Vector, _ int, _ string) tensor.Vector {
+	return tensor.Scale(honest, -a.Scale)
+}
+
+// ScaledNorm blows the honest vector up by a large factor, attempting to
+// dominate any averaging-style aggregation.
+type ScaledNorm struct {
+	// Factor is the amplification applied to the honest vector.
+	Factor float64
+}
+
+var _ Attack = ScaledNorm{}
+
+// Name implements Attack.
+func (ScaledNorm) Name() string { return "scaled-norm" }
+
+// Corrupt implements Attack.
+func (a ScaledNorm) Corrupt(honest tensor.Vector, _ int, _ string) tensor.Vector {
+	return tensor.Scale(honest, a.Factor)
+}
+
+// Zero sends the all-zero vector: a stealthy attack that slows learning by
+// diluting the aggregate rather than poisoning it outright.
+type Zero struct{}
+
+var _ Attack = Zero{}
+
+// Name implements Attack.
+func (Zero) Name() string { return "zero" }
+
+// Corrupt implements Attack.
+func (Zero) Corrupt(honest tensor.Vector, _ int, _ string) tensor.Vector {
+	return make(tensor.Vector, len(honest))
+}
+
+// NaNInjection sends vectors containing NaNs, probing whether honest nodes
+// sanitise network input before feeding it into arithmetic.
+type NaNInjection struct{}
+
+var _ Attack = NaNInjection{}
+
+// Name implements Attack.
+func (NaNInjection) Name() string { return "nan-injection" }
+
+// Corrupt implements Attack.
+func (NaNInjection) Corrupt(honest tensor.Vector, _ int, _ string) tensor.Vector {
+	out := make(tensor.Vector, len(honest))
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	return out
+}
+
+// TwoFaced equivocates: it sends the honest vector to half the receivers
+// (by receiver-name hash) and an inner attack's corruption to the rest —
+// the paper's "sends different (bad) models to different workers in the
+// same iteration" server behaviour.
+type TwoFaced struct {
+	// Inner generates the corrupted face. Must be non-nil.
+	Inner Attack
+}
+
+var _ Attack = TwoFaced{}
+
+// Name implements Attack.
+func (a TwoFaced) Name() string { return "two-faced(" + a.Inner.Name() + ")" }
+
+// Corrupt implements Attack.
+func (a TwoFaced) Corrupt(honest tensor.Vector, step int, receiver string) tensor.Vector {
+	if hashString(receiver)%2 == 0 {
+		return tensor.Clone(honest)
+	}
+	return a.Inner.Corrupt(honest, step, receiver)
+}
+
+// Silent never responds. The paper notes this is the weakest behaviour —
+// asynchrony already forces the protocol to tolerate missing replies — but
+// it exercises the quorum/liveness path, so it is kept for failure
+// injection.
+type Silent struct{}
+
+var _ Attack = Silent{}
+
+// Name implements Attack.
+func (Silent) Name() string { return "silent" }
+
+// Corrupt implements Attack. It returns nil, meaning "send nothing".
+func (Silent) Corrupt(tensor.Vector, int, string) tensor.Vector { return nil }
+
+// Delayed forwards the honest vector but only every Period steps, starving
+// receivers of timely input without being fully silent.
+type Delayed struct {
+	// Period is the step interval at which the node actually responds.
+	Period int
+}
+
+var _ Attack = Delayed{}
+
+// Name implements Attack.
+func (Delayed) Name() string { return "delayed" }
+
+// Corrupt implements Attack.
+func (a Delayed) Corrupt(honest tensor.Vector, step int, _ string) tensor.Vector {
+	if a.Period <= 1 || step%a.Period == 0 {
+		return tensor.Clone(honest)
+	}
+	return nil
+}
+
+// hashString is FNV-1a, inlined to avoid importing hash/fnv for two lines.
+func hashString(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

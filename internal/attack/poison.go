@@ -1,0 +1,27 @@
+package attack
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+// FlipLabels returns a copy of d in which a fraction frac of the labels have
+// been rotated to the next class — classic data poisoning. This models the
+// paper's motivating scenario (mislabeled content poisoning a learner)
+// upstream of the gradient-level attacks: a Byzantine worker can equivalently
+// be an honest worker trained on poisoned data.
+func FlipLabels(d *dataset.Dataset, frac float64, seed uint64) *dataset.Dataset {
+	rng := tensor.NewRNG(seed)
+	out := &dataset.Dataset{
+		X:          d.X, // features shared; labels copied
+		Labels:     append([]int(nil), d.Labels...),
+		NumClasses: d.NumClasses,
+		FeatureDim: d.FeatureDim,
+	}
+	for i := range out.Labels {
+		if rng.Float64() < frac {
+			out.Labels[i] = (out.Labels[i] + 1) % d.NumClasses
+		}
+	}
+	return out
+}

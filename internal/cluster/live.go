@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/gar"
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// LiveConfig describes a full deployment run with real concurrency: one
+// goroutine per node over an in-process asynchronous network. It is the
+// runtime used by integration tests, the failure-injection suite and the
+// examples; the deterministic virtual-time engine used for the paper's
+// figures lives in internal/core.
+type LiveConfig struct {
+	// Model is the template model; every worker gets an independent clone,
+	// and its initial parameters seed every server's θ₀.
+	Model *nn.Sequential
+	// Train supplies the workers' mini-batches.
+	Train *dataset.Dataset
+	// NumServers and FServers are n and f (declared) for parameter servers.
+	NumServers, FServers int
+	// NumWorkers and FWorkers are n̄ and f̄ (declared) for workers.
+	NumWorkers, FWorkers int
+	// QuorumServers (q) and QuorumWorkers (q̄) override the default minimum
+	// quorums 2f+3 when positive.
+	QuorumServers, QuorumWorkers int
+	// ServerAttacks maps server index → behaviour for actually-Byzantine
+	// servers. Nil entries are honest.
+	ServerAttacks map[int]attack.Attack
+	// WorkerAttacks maps worker index → behaviour.
+	WorkerAttacks map[int]attack.Attack
+	// Steps is the number of learning steps.
+	Steps int
+	// Batch is the mini-batch size.
+	Batch int
+	// LR returns the learning rate for a step; nil defaults to 0.05/(1+t/200).
+	LR func(step int) float64
+	// Rule aggregates gradients server-side; nil defaults to
+	// MultiKrum{F: FWorkers}.
+	Rule gar.Rule
+	// ParamRule aggregates parameter vectors; nil defaults to Median.
+	ParamRule gar.Rule
+	// Delay optionally injects per-message delivery delays (asynchrony).
+	Delay transport.DelayFunc
+	// Timeout bounds each quorum wait. 0 defaults to 30 s; negative waits
+	// forever.
+	Timeout time.Duration
+	// Seed drives all per-node generators.
+	Seed uint64
+	// SkipValidation disables the theoretical bound checks (used by tests
+	// that deliberately run illegal deployments, e.g. the vanilla baseline).
+	SkipValidation bool
+	// Suspicion, when non-nil, is shared by all honest servers to
+	// accumulate per-worker exclusion statistics (requires a selective
+	// gradient rule such as the default Multi-Krum).
+	Suspicion *stats.Suspicion
+	// Trace, when non-nil, records protocol events from every server.
+	Trace *trace.Recorder
+	// Momentum, when positive, enables heavy-ball momentum on server
+	// updates (extension; see ServerConfig.Momentum).
+	Momentum float64
+}
+
+// Validate checks the deployment against the theoretical requirements of the
+// paper (n ≥ 3f+3, 2f+3 ≤ q ≤ n−f for both roles).
+func (c *LiveConfig) Validate() error {
+	if err := gar.CheckDeployment("server", c.NumServers, c.FServers); err != nil {
+		return err
+	}
+	if err := gar.CheckDeployment("worker", c.NumWorkers, c.FWorkers); err != nil {
+		return err
+	}
+	if err := gar.CheckQuorum("server", c.NumServers, c.FServers, c.quorumServers()); err != nil {
+		return err
+	}
+	if err := gar.CheckQuorum("worker", c.NumWorkers, c.FWorkers, c.quorumWorkers()); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c *LiveConfig) quorumServers() int {
+	if c.QuorumServers > 0 {
+		return c.QuorumServers
+	}
+	return gar.MinQuorum(c.FServers)
+}
+
+func (c *LiveConfig) quorumWorkers() int {
+	if c.QuorumWorkers > 0 {
+		return c.QuorumWorkers
+	}
+	return gar.MinQuorum(c.FWorkers)
+}
+
+func (c *LiveConfig) lr() func(int) float64 {
+	if c.LR != nil {
+		return c.LR
+	}
+	return func(t int) float64 { return 0.05 / (1 + float64(t)/200) }
+}
+
+func (c *LiveConfig) gradRule() gar.Rule {
+	if c.Rule != nil {
+		return c.Rule
+	}
+	return gar.MultiKrum{F: c.FWorkers}
+}
+
+func (c *LiveConfig) paramRule() gar.Rule {
+	if c.ParamRule != nil {
+		return c.ParamRule
+	}
+	return gar.Median{}
+}
+
+func (c *LiveConfig) timeout() time.Duration {
+	if c.Timeout == 0 {
+		return 30 * time.Second
+	}
+	return c.Timeout
+}
+
+// ServerID and WorkerID name the nodes of a deployment; the naming scheme is
+// shared with the virtual-time engine so logs and attacks line up.
+func ServerID(i int) string { return fmt.Sprintf("ps%d", i) }
+
+// WorkerID returns the network ID of worker j.
+func WorkerID(j int) string { return fmt.Sprintf("wrk%d", j) }
+
+// LiveResult holds the outcome of a live run.
+type LiveResult struct {
+	// ServerParams maps honest server index → final parameter vector.
+	ServerParams map[int]tensor.Vector
+	// Final is the coordinate-wise median of the honest servers' final
+	// vectors — the model θ̄ the paper's convergence statement (Eq. 1) is
+	// about.
+	Final tensor.Vector
+}
+
+// RunLive executes the deployment to completion and returns the honest
+// servers' final models. Every node runs in its own goroutine; the call
+// blocks until all have finished or one fails.
+func RunLive(cfg LiveConfig) (*LiveResult, error) {
+	if !cfg.SkipValidation {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Steps <= 0 || cfg.Batch <= 0 {
+		return nil, fmt.Errorf("cluster: Steps and Batch must be positive")
+	}
+
+	network := transport.NewChanNetwork(cfg.Delay)
+	defer network.Close()
+
+	rng := tensor.NewRNG(cfg.Seed)
+	theta0 := cfg.Model.ParamVector()
+
+	workerIDs := make([]string, cfg.NumWorkers)
+	for j := range workerIDs {
+		workerIDs[j] = WorkerID(j)
+	}
+	serverIDs := make([]string, cfg.NumServers)
+	for i := range serverIDs {
+		serverIDs[i] = ServerID(i)
+	}
+
+	type serverOut struct {
+		index int
+		theta tensor.Vector
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		outs    []serverOut
+		runErrs []error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		runErrs = append(runErrs, err)
+	}
+
+	// Servers.
+	for i := 0; i < cfg.NumServers; i++ {
+		ep, err := network.Register(serverIDs[i])
+		if err != nil {
+			return nil, err
+		}
+		peers := make([]string, 0, cfg.NumServers-1)
+		for k, id := range serverIDs {
+			if k != i {
+				peers = append(peers, id)
+			}
+		}
+		scfg := ServerConfig{
+			ID:              serverIDs[i],
+			Workers:         workerIDs,
+			Peers:           peers,
+			Init:            theta0,
+			GradRule:        cfg.gradRule(),
+			ParamRule:       cfg.paramRule(),
+			QuorumGradients: cfg.quorumWorkers(),
+			QuorumParams:    cfg.quorumServers(),
+			Steps:           cfg.Steps,
+			LR:              cfg.lr(),
+			Timeout:         cfg.timeout(),
+			Attack:          cfg.ServerAttacks[i],
+			Momentum:        cfg.Momentum,
+		}
+		if scfg.Attack == nil {
+			scfg.Suspicion = cfg.Suspicion // honest servers report exclusions
+			scfg.Trace = cfg.Trace
+		}
+		idx := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer ep.Close()
+			theta, err := RunServer(ep, scfg)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if scfg.Attack == nil {
+				mu.Lock()
+				outs = append(outs, serverOut{index: idx, theta: theta})
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Workers.
+	for j := 0; j < cfg.NumWorkers; j++ {
+		ep, err := network.Register(workerIDs[j])
+		if err != nil {
+			return nil, err
+		}
+		wcfg := WorkerConfig{
+			ID:           workerIDs[j],
+			Servers:      serverIDs,
+			Model:        cfg.Model.Clone(),
+			Sampler:      dataset.NewSampler(cfg.Train, rng.Split()),
+			Batch:        cfg.Batch,
+			ParamRule:    cfg.paramRule(),
+			QuorumParams: cfg.quorumServers(),
+			Steps:        cfg.Steps,
+			Timeout:      cfg.timeout(),
+			Attack:       cfg.WorkerAttacks[j],
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer ep.Close()
+			if err := RunWorker(ep, wcfg); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
+	wg.Wait()
+	if len(runErrs) > 0 {
+		return nil, fmt.Errorf("cluster: run failed: %w (and %d more)", runErrs[0], len(runErrs)-1)
+	}
+
+	res := &LiveResult{ServerParams: make(map[int]tensor.Vector, len(outs))}
+	finals := make([]tensor.Vector, 0, len(outs))
+	for _, o := range outs {
+		res.ServerParams[o.index] = o.theta
+		finals = append(finals, o.theta)
+	}
+	if len(finals) == 0 {
+		return nil, fmt.Errorf("cluster: no honest server completed")
+	}
+	final, err := gar.Median{}.Aggregate(finals)
+	if err != nil {
+		return nil, err
+	}
+	res.Final = final
+	return res, nil
+}

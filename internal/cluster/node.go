@@ -1,0 +1,248 @@
+// Package cluster implements the live node runtime of GuanYu: one goroutine
+// per parameter server and per worker, communicating through a
+// transport.Endpoint (in-process or TCP), executing the three-phase protocol
+// of the paper with quorum-based progress — no timing assumptions beyond the
+// per-collect safety timeout used to convert bugs into test failures.
+//
+// Protocol, per step t (Figure 2 of the paper):
+//
+//  1. each server broadcasts its parameter vector to every worker; each
+//     worker aggregates the first q received with the coordinate-wise
+//     median and computes a stochastic gradient there;
+//  2. each worker broadcasts its gradient to every server; each server
+//     aggregates the first q̄ received with Multi-Krum and applies a local
+//     SGD update;
+//  3. each server broadcasts its updated vector to its peers and aggregates
+//     the first q received (its own vector included) with the median —
+//     the contraction round.
+//
+// Byzantine nodes run the same loops but pass every outbound vector through
+// an attack.Attack, which may replace it (corruption, equivocation) or
+// suppress it (silence).
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/gar"
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// validator returns the inbound-message filter every honest node installs:
+// payloads must have the deployment's dimension and contain only finite
+// values. Anything else is treated as silence from that sender.
+func validator(dim int) func(transport.Message) bool {
+	return func(m transport.Message) bool {
+		return len(m.Vec) == dim && tensor.IsFinite(m.Vec)
+	}
+}
+
+// send transmits vec to the named receiver, routing it through att when the
+// node is Byzantine. A nil attack means honest. Send errors are deliberately
+// dropped: the network model is best-effort and the quorum discipline
+// tolerates missing messages.
+func send(ep transport.Endpoint, att attack.Attack, kind transport.Kind,
+	step int, to string, vec tensor.Vector) {
+	out := vec
+	if att != nil {
+		out = att.Corrupt(vec, step, to)
+		if out == nil {
+			return // silent this message
+		}
+	}
+	_ = ep.Send(to, transport.Message{Kind: kind, Step: step, Vec: out})
+}
+
+// ServerConfig parameterises one parameter-server node.
+type ServerConfig struct {
+	// ID is this node's network identifier.
+	ID string
+	// Workers lists the worker node IDs (broadcast targets for phase 1).
+	Workers []string
+	// Peers lists the other parameter servers (phase 3 targets).
+	Peers []string
+	// Init is the shared initial parameter vector θ₀.
+	Init tensor.Vector
+	// GradRule aggregates worker gradients (the paper's F, Multi-Krum).
+	GradRule gar.Rule
+	// ParamRule aggregates peer parameter vectors (the paper's M, median).
+	ParamRule gar.Rule
+	// QuorumGradients is q̄, the number of gradients awaited each step.
+	QuorumGradients int
+	// QuorumParams is q, the number of parameter vectors (own included)
+	// aggregated in the contraction round. 1 disables the exchange.
+	QuorumParams int
+	// Steps is the number of learning steps to run.
+	Steps int
+	// LR returns the learning rate η_t for step t.
+	LR func(step int) float64
+	// Timeout bounds each quorum wait; ≤ 0 means wait forever (the faithful
+	// asynchronous setting).
+	Timeout time.Duration
+	// Attack, when non-nil, makes this server Byzantine: every outbound
+	// message passes through it.
+	Attack attack.Attack
+	// Suspicion, when non-nil and GradRule is selective (e.g. Multi-Krum),
+	// accumulates which workers' gradients the rule excluded each round —
+	// the accountability signal that surfaces actually-Byzantine senders.
+	Suspicion *stats.Suspicion
+	// Trace, when non-nil, records protocol events for post-mortem
+	// analysis (nil is a valid no-op recorder).
+	Trace *trace.Recorder
+	// Momentum, when positive, applies heavy-ball momentum to the local
+	// update: v ← β·v + F(...); θ ← θ − η_t·v (extension beyond the
+	// paper's plain SGD; mirrors core.Config.Momentum).
+	Momentum float64
+}
+
+// RunServer executes the server loop and returns the node's final parameter
+// vector. It returns an error if a quorum cannot be assembled before the
+// timeout or the endpoint closes.
+func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
+	dim := len(cfg.Init)
+	col := transport.NewCollector(ep)
+	col.Validator = validator(dim)
+	theta := tensor.Clone(cfg.Init)
+	var velocity tensor.Vector
+	if cfg.Momentum > 0 {
+		velocity = make(tensor.Vector, dim)
+	}
+
+	for t := 0; t < cfg.Steps; t++ {
+		col.Advance(t)
+		cfg.Trace.Record(cfg.ID, t, trace.EventStepStart, "")
+
+		// Phase 1: publish the current model to every worker.
+		for _, w := range cfg.Workers {
+			send(ep, cfg.Attack, transport.KindParams, t, w, theta)
+		}
+		cfg.Trace.Recordf(cfg.ID, t, trace.EventBroadcast, "params to %d workers", len(cfg.Workers))
+
+		// Phase 2: gather a quorum of gradients and update locally.
+		msgs, err := col.Collect(transport.KindGradient, t, cfg.QuorumGradients, cfg.Timeout)
+		if err != nil {
+			cfg.Trace.Recordf(cfg.ID, t, trace.EventError, "%v", err)
+			return nil, fmt.Errorf("server %s step %d: %w", cfg.ID, t, err)
+		}
+		cfg.Trace.Recordf(cfg.ID, t, trace.EventQuorumComplete, "q̄=%d gradients", len(msgs))
+		grads := make([]tensor.Vector, len(msgs))
+		senders := make([]string, len(msgs))
+		for i, m := range msgs {
+			grads[i] = m.Vec
+			senders[i] = m.From
+		}
+		agg, err := cfg.GradRule.Aggregate(grads)
+		if err != nil {
+			return nil, fmt.Errorf("server %s step %d: aggregate gradients: %w", cfg.ID, t, err)
+		}
+		if cfg.Suspicion != nil {
+			if sel, ok := cfg.GradRule.(gar.SelectiveRule); ok {
+				if kept, err := sel.SelectIndices(grads); err == nil {
+					keptIDs := make([]string, len(kept))
+					for i, k := range kept {
+						keptIDs[i] = senders[k]
+					}
+					cfg.Suspicion.Observe(senders, keptIDs)
+				}
+			}
+		}
+		if cfg.Momentum > 0 {
+			tensor.ScaleInPlace(velocity, cfg.Momentum)
+			tensor.AddInPlace(velocity, agg)
+			agg = velocity
+		}
+		tensor.AXPY(theta, -cfg.LR(t), agg)
+		cfg.Trace.Recordf(cfg.ID, t, trace.EventUpdate, "η=%g rule=%s", cfg.LR(t), cfg.GradRule.Name())
+
+		// Phase 3: contraction round across servers.
+		if cfg.QuorumParams > 1 && len(cfg.Peers) > 0 {
+			for _, p := range cfg.Peers {
+				send(ep, cfg.Attack, transport.KindPeerParams, t, p, theta)
+			}
+			peerMsgs, err := col.Collect(transport.KindPeerParams, t, cfg.QuorumParams-1, cfg.Timeout)
+			if err != nil {
+				return nil, fmt.Errorf("server %s step %d: %w", cfg.ID, t, err)
+			}
+			vecs := make([]tensor.Vector, 0, len(peerMsgs)+1)
+			vecs = append(vecs, theta)
+			for _, m := range peerMsgs {
+				vecs = append(vecs, m.Vec)
+			}
+			theta, err = cfg.ParamRule.Aggregate(vecs)
+			if err != nil {
+				return nil, fmt.Errorf("server %s step %d: aggregate params: %w", cfg.ID, t, err)
+			}
+		}
+	}
+	return theta, nil
+}
+
+// WorkerConfig parameterises one worker node.
+type WorkerConfig struct {
+	// ID is this node's network identifier.
+	ID string
+	// Servers lists the parameter-server IDs (gradient broadcast targets).
+	Servers []string
+	// Model is this worker's private model replica (mutated in place).
+	Model *nn.Sequential
+	// Sampler draws this worker's mini-batches (its gradient distribution
+	// G^(j); each worker owns an independently seeded sampler).
+	Sampler *dataset.Sampler
+	// Batch is the mini-batch size.
+	Batch int
+	// ParamRule aggregates received parameter vectors (the paper's M).
+	ParamRule gar.Rule
+	// QuorumParams is q, the number of parameter vectors awaited.
+	QuorumParams int
+	// Steps is the number of learning steps.
+	Steps int
+	// Timeout bounds each quorum wait; ≤ 0 waits forever.
+	Timeout time.Duration
+	// Attack, when non-nil, makes this worker Byzantine.
+	Attack attack.Attack
+}
+
+// RunWorker executes the worker loop.
+func RunWorker(ep transport.Endpoint, cfg WorkerConfig) error {
+	dim := cfg.Model.ParamCount()
+	col := transport.NewCollector(ep)
+	col.Validator = validator(dim)
+
+	for t := 0; t < cfg.Steps; t++ {
+		col.Advance(t)
+
+		// Phase 1: await a quorum of parameter vectors and aggregate.
+		msgs, err := col.Collect(transport.KindParams, t, cfg.QuorumParams, cfg.Timeout)
+		if err != nil {
+			return fmt.Errorf("worker %s step %d: %w", cfg.ID, t, err)
+		}
+		params := make([]tensor.Vector, len(msgs))
+		for i, m := range msgs {
+			params[i] = m.Vec
+		}
+		agg, err := cfg.ParamRule.Aggregate(params)
+		if err != nil {
+			return fmt.Errorf("worker %s step %d: aggregate params: %w", cfg.ID, t, err)
+		}
+		if err := cfg.Model.SetParamVector(agg); err != nil {
+			return fmt.Errorf("worker %s step %d: %w", cfg.ID, t, err)
+		}
+
+		// Estimate the gradient at the aggregated parameters.
+		xs, labels := cfg.Sampler.Batch(cfg.Batch)
+		_, grad := nn.BatchGradient(cfg.Model, xs, labels)
+
+		// Phase 2: broadcast the gradient to every server.
+		for _, s := range cfg.Servers {
+			send(ep, cfg.Attack, transport.KindGradient, t, s, grad)
+		}
+	}
+	return nil
+}

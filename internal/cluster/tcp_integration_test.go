@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/gar"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// TestGuanYuOverTCP runs a complete Byzantine deployment over real TCP
+// sockets on localhost: 6 servers (1 silent-Byzantine) and 6 workers
+// (1 sign-flipping), verifying end-to-end that the node loops, the gob
+// transport and the quorum discipline compose into a converging system.
+func TestGuanYuOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up 12 TCP listeners")
+	}
+	const (
+		numServers, fServers = 6, 1
+		numWorkers, fWorkers = 6, 1
+		steps, batch         = 40, 16
+	)
+	model, train, test := testProblem(4242)
+	theta0 := model.ParamVector()
+
+	ids := make([]string, 0, numServers+numWorkers)
+	for i := 0; i < numServers; i++ {
+		ids = append(ids, ServerID(i))
+	}
+	for j := 0; j < numWorkers; j++ {
+		ids = append(ids, WorkerID(j))
+	}
+	nodes := make(map[string]*transport.TCPNode, len(ids))
+	for _, id := range ids {
+		n, err := transport.ListenTCP(id, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes[id] = n
+	}
+	for _, n := range nodes {
+		for _, id := range ids {
+			if id != n.ID() {
+				if err := n.AddPeer(id, nodes[id].Addr()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	serverIDs, workerIDs := ids[:numServers], ids[numServers:]
+	rng := tensor.NewRNG(77)
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		finals []tensor.Vector
+		errs   []error
+	)
+	for i := 0; i < numServers; i++ {
+		peers := make([]string, 0, numServers-1)
+		for k, id := range serverIDs {
+			if k != i {
+				peers = append(peers, id)
+			}
+		}
+		scfg := ServerConfig{
+			ID: serverIDs[i], Workers: workerIDs, Peers: peers,
+			Init:     theta0,
+			GradRule: gar.MultiKrum{F: fWorkers}, ParamRule: gar.Median{},
+			QuorumGradients: gar.MinQuorum(fWorkers),
+			QuorumParams:    gar.MinQuorum(fServers),
+			Steps:           steps,
+			LR:              func(int) float64 { return 0.2 },
+			Timeout:         time.Minute,
+		}
+		if i == numServers-1 {
+			scfg.Attack = attack.Silent{}
+		}
+		ep := nodes[serverIDs[i]]
+		byz := scfg.Attack != nil
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			theta, err := RunServer(ep, scfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			if !byz {
+				finals = append(finals, theta)
+			}
+		}()
+	}
+	for j := 0; j < numWorkers; j++ {
+		wcfg := WorkerConfig{
+			ID: workerIDs[j], Servers: serverIDs,
+			Model:   model.Clone(),
+			Sampler: dataset.NewSampler(train, rng.Split()),
+			Batch:   batch, ParamRule: gar.Median{},
+			QuorumParams: gar.MinQuorum(fServers),
+			Steps:        steps,
+			Timeout:      time.Minute,
+		}
+		if j == numWorkers-1 {
+			wcfg.Attack = attack.SignFlip{Scale: 10}
+		}
+		ep := nodes[workerIDs[j]]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunWorker(ep, wcfg); err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		t.Fatalf("TCP deployment failed: %v", errs[0])
+	}
+	if len(finals) != numServers-1 {
+		t.Fatalf("expected %d honest finals, got %d", numServers-1, len(finals))
+	}
+	final, err := gar.Median{}.Aggregate(finals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := evalFinal(t, model, final, test); acc < 0.85 {
+		t.Fatalf("TCP deployment failed to converge: accuracy %.3f", acc)
+	}
+}

@@ -1,0 +1,110 @@
+package dataset
+
+import "repro/internal/tensor"
+
+// Augmenter applies label-preserving random transformations to image
+// examples at sampling time — the standard CIFAR-style horizontal-flip and
+// shift augmentations, implemented for the channels-first layout used by
+// the CNN substrate. Augmentation enlarges the effective dataset, which
+// matters here because the synthetic workloads are small.
+type Augmenter struct {
+	// Size is the spatial side length of the (square) images.
+	Size int
+	// Channels is the channel count.
+	Channels int
+	// FlipProb is the probability of a horizontal mirror.
+	FlipProb float64
+	// MaxShift is the maximum absolute shift in pixels per axis (zero-fill).
+	MaxShift int
+
+	rng *tensor.RNG
+}
+
+// NewAugmenter builds an augmenter with its own generator.
+func NewAugmenter(size, channels int, flipProb float64, maxShift int, seed uint64) *Augmenter {
+	return &Augmenter{
+		Size:     size,
+		Channels: channels,
+		FlipProb: flipProb,
+		MaxShift: maxShift,
+		rng:      tensor.NewRNG(seed),
+	}
+}
+
+// Apply returns an augmented copy of img (the input is never modified).
+func (a *Augmenter) Apply(img []float64) []float64 {
+	out := make([]float64, len(img))
+	copy(out, img)
+	if a.FlipProb > 0 && a.rng.Float64() < a.FlipProb {
+		out = a.flip(out)
+	}
+	if a.MaxShift > 0 {
+		dx := a.rng.Intn(2*a.MaxShift+1) - a.MaxShift
+		dy := a.rng.Intn(2*a.MaxShift+1) - a.MaxShift
+		if dx != 0 || dy != 0 {
+			out = a.shift(out, dx, dy)
+		}
+	}
+	return out
+}
+
+// flip mirrors the image horizontally in place and returns it.
+func (a *Augmenter) flip(img []float64) []float64 {
+	s := a.Size
+	for c := 0; c < a.Channels; c++ {
+		base := c * s * s
+		for y := 0; y < s; y++ {
+			row := img[base+y*s : base+(y+1)*s]
+			for x, xr := 0, s-1; x < xr; x, xr = x+1, xr-1 {
+				row[x], row[xr] = row[xr], row[x]
+			}
+		}
+	}
+	return img
+}
+
+// shift translates the image by (dx, dy) with zero fill.
+func (a *Augmenter) shift(img []float64, dx, dy int) []float64 {
+	s := a.Size
+	out := make([]float64, len(img))
+	for c := 0; c < a.Channels; c++ {
+		base := c * s * s
+		for y := 0; y < s; y++ {
+			sy := y - dy
+			if sy < 0 || sy >= s {
+				continue
+			}
+			for x := 0; x < s; x++ {
+				sx := x - dx
+				if sx < 0 || sx >= s {
+					continue
+				}
+				out[base+y*s+x] = img[base+sy*s+sx]
+			}
+		}
+	}
+	return out
+}
+
+// AugmentedSampler wraps a Sampler so every drawn image passes through the
+// augmenter. Labels are untouched (all transformations are
+// label-preserving).
+type AugmentedSampler struct {
+	inner *Sampler
+	aug   *Augmenter
+}
+
+// NewAugmentedSampler composes a sampler with an augmenter.
+func NewAugmentedSampler(inner *Sampler, aug *Augmenter) *AugmentedSampler {
+	return &AugmentedSampler{inner: inner, aug: aug}
+}
+
+// Batch draws and augments a mini-batch.
+func (s *AugmentedSampler) Batch(size int) ([][]float64, []int) {
+	xs, labels := s.inner.Batch(size)
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = s.aug.Apply(x)
+	}
+	return out, labels
+}

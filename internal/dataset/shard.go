@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// ShardIID splits d into k equal-sized shards after a seeded shuffle, so
+// each shard is an i.i.d. sample of the whole — the assumption underlying
+// the paper's worker model (every worker's gradient distribution estimates
+// the same ∇L).
+func ShardIID(d *Dataset, k int, rng *tensor.RNG) ([]*Dataset, error) {
+	if k <= 0 || k > d.Len() {
+		return nil, fmt.Errorf("dataset: cannot split %d examples into %d shards", d.Len(), k)
+	}
+	perm := rng.Perm(d.Len())
+	return buildShards(d, perm, k), nil
+}
+
+// ShardByLabel splits d into k label-skewed shards: examples are sorted by
+// label before round-robin-free contiguous partitioning, so each shard sees
+// only a few classes. This is the classic non-IID federated setting; it
+// violates the paper's identical-gradient-distribution assumption and is
+// provided to probe how far GuanYu degrades outside its theory (honest
+// workers now disagree systematically, which robust aggregation partially
+// mistakes for Byzantine behaviour).
+func ShardByLabel(d *Dataset, k int) ([]*Dataset, error) {
+	if k <= 0 || k > d.Len() {
+		return nil, fmt.Errorf("dataset: cannot split %d examples into %d shards", d.Len(), k)
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return d.Labels[idx[a]] < d.Labels[idx[b]]
+	})
+	return buildShards(d, idx, k), nil
+}
+
+// buildShards partitions the index order into k near-equal contiguous runs.
+func buildShards(d *Dataset, order []int, k int) []*Dataset {
+	shards := make([]*Dataset, k)
+	n := len(order)
+	for s := 0; s < k; s++ {
+		lo := s * n / k
+		hi := (s + 1) * n / k
+		shard := &Dataset{
+			X:          make([][]float64, 0, hi-lo),
+			Labels:     make([]int, 0, hi-lo),
+			NumClasses: d.NumClasses,
+			FeatureDim: d.FeatureDim,
+		}
+		for _, p := range order[lo:hi] {
+			shard.X = append(shard.X, d.X[p])
+			shard.Labels = append(shard.Labels, d.Labels[p])
+		}
+		shards[s] = shard
+	}
+	return shards
+}
+
+// LabelSkew measures how non-IID a sharding is: the mean, over shards, of
+// the total-variation distance between the shard's label distribution and
+// the global one. 0 means perfectly IID shards; values near 1 mean each
+// shard sees almost disjoint classes.
+func LabelSkew(global *Dataset, shards []*Dataset) float64 {
+	if len(shards) == 0 || global.Len() == 0 {
+		return 0
+	}
+	gdist := labelDist(global)
+	var total float64
+	for _, s := range shards {
+		sdist := labelDist(s)
+		var tv float64
+		for c := 0; c < global.NumClasses; c++ {
+			diff := sdist[c] - gdist[c]
+			if diff < 0 {
+				diff = -diff
+			}
+			tv += diff
+		}
+		total += tv / 2
+	}
+	return total / float64(len(shards))
+}
+
+func labelDist(d *Dataset) []float64 {
+	dist := make([]float64, d.NumClasses)
+	if d.Len() == 0 {
+		return dist
+	}
+	for _, l := range d.Labels {
+		dist[l]++
+	}
+	inv := 1 / float64(d.Len())
+	for i := range dist {
+		dist[i] *= inv
+	}
+	return dist
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestShardIIDSizesAndCoverage(t *testing.T) {
+	d := Blobs(100, 4, 3, 0.5, 10)
+	shards, err := ShardIID(d, 7, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 100 {
+		t.Fatalf("shards cover %d examples, want 100", total)
+	}
+	// near-equal sizes
+	for _, s := range shards {
+		if s.Len() < 100/7 || s.Len() > 100/7+1 {
+			t.Fatalf("uneven shard size %d", s.Len())
+		}
+	}
+}
+
+func TestShardErrors(t *testing.T) {
+	d := Blobs(10, 2, 3, 0.5, 11)
+	if _, err := ShardIID(d, 0, tensor.NewRNG(1)); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := ShardIID(d, 11, tensor.NewRNG(1)); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := ShardByLabel(d, 0); err == nil {
+		t.Fatal("k=0 accepted by label sharding")
+	}
+}
+
+func TestShardByLabelIsSkewed(t *testing.T) {
+	d := Blobs(400, 4, 3, 0.5, 12)
+	byLabel, err := ShardByLabel(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iid, err := ShardIID(d, 4, tensor.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewLabel := LabelSkew(d, byLabel)
+	skewIID := LabelSkew(d, iid)
+	if skewLabel < 0.5 {
+		t.Fatalf("label sharding not skewed: %v", skewLabel)
+	}
+	if skewIID > 0.2 {
+		t.Fatalf("IID sharding unexpectedly skewed: %v", skewIID)
+	}
+	if skewLabel <= skewIID {
+		t.Fatalf("label skew %v not above IID skew %v", skewLabel, skewIID)
+	}
+	// With 4 classes and 4 shards, each label shard is (nearly) pure.
+	for _, s := range byLabel {
+		first := s.Labels[0]
+		impure := 0
+		for _, l := range s.Labels {
+			if l != first {
+				impure++
+			}
+		}
+		if impure > s.Len()/10 {
+			t.Fatalf("label shard is %d/%d impure", impure, s.Len())
+		}
+	}
+}
+
+func TestLabelSkewDegenerateInputs(t *testing.T) {
+	d := Blobs(10, 2, 3, 0.5, 13)
+	if LabelSkew(d, nil) != 0 {
+		t.Fatal("no shards should give skew 0")
+	}
+	empty := &Dataset{NumClasses: 2, FeatureDim: 2}
+	if LabelSkew(empty, []*Dataset{empty}) != 0 {
+		t.Fatal("empty dataset should give skew 0")
+	}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny is a minimal scale so the shape checks run in CI time. The blob-level
+// fidelity checks live in internal/core; here we verify the experiment
+// harness end-to-end on the image workload at a reduced step count.
+var tiny = Scale{Steps: 40, Batch: 8, SmallBatch: 4, Examples: 400, Seed: 7}
+
+func TestTable1MatchesPaperArchitecture(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"1756426", "1.75M", "Conv2D", "Dense"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	r, err := Fig4(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := r.VanillaClean.BestAccuracy()
+	byz := r.VanillaByzantine.FinalAccuracy()
+	gy := r.GuanYuByzantine.FinalAccuracy()
+	// Shape: Byzantine vanilla must do much worse than both clean vanilla
+	// and Byzantine GuanYu.
+	if byz >= clean-0.05 {
+		t.Fatalf("vanilla under attack (%.3f) not worse than clean vanilla (%.3f)", byz, clean)
+	}
+	if gy <= byz+0.05 {
+		t.Fatalf("GuanYu under attack (%.3f) not better than vanilla under attack (%.3f)", gy, byz)
+	}
+	out := r.Format()
+	if !strings.Contains(out, "vanilla TF (Byzantine)") {
+		t.Fatalf("figure legend missing:\n%s", out)
+	}
+}
+
+func TestOverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	r, err := Overhead(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape: vanilla GuanYu pays a positive runtime overhead over vanilla
+	// TF, and the Byzantine deployment pays a further positive overhead.
+	if !(r.RuntimeOverheadPct > 0) {
+		t.Fatalf("runtime overhead %.1f%% not positive", r.RuntimeOverheadPct)
+	}
+	if !(r.ByzantineOverheadPct > 0) {
+		t.Fatalf("Byzantine overhead %.1f%% not positive", r.ByzantineOverheadPct)
+	}
+	if !strings.Contains(r.Format(), "overhead") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	recs, err := Table2(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no alignment records")
+	}
+	for _, r := range recs {
+		if r.CosPhi < 0 || r.CosPhi > 1.0000001 {
+			t.Fatalf("cos φ out of range at step %d: %v", r.Step, r.CosPhi)
+		}
+	}
+}
+
+func TestContractionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	r, err := Contraction(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DriftWithout <= r.DriftWith {
+		t.Fatalf("phase-3 ablation shows no drift increase: %.5f vs %.5f",
+			r.DriftWith, r.DriftWithout)
+	}
+}
+
+func TestGARAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	rows, err := GARAblation(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Rule] = r.FinalAccuracy
+	}
+	// Mean must be the worst rule under gradient corruption.
+	mean := byName["mean"]
+	for name, acc := range byName {
+		if name == "mean" {
+			continue
+		}
+		if acc < mean {
+			t.Fatalf("robust rule %s (%.3f) did worse than mean (%.3f)", name, acc, mean)
+		}
+	}
+	if !strings.Contains(FormatGARAblation(rows), "multi-krum") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAsyncSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	rows, err := AsyncSweep(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(rows))
+	}
+	// Heavier tails must cost time but not accuracy.
+	if rows[len(rows)-1].VirtualTime <= rows[0].VirtualTime {
+		t.Fatalf("heavy-tailed network not slower: %.3f vs %.3f",
+			rows[len(rows)-1].VirtualTime, rows[0].VirtualTime)
+	}
+	// At this tiny scale (40 steps, q̄=5 gradients/step) absolute accuracy
+	// is modest; "didn't break" means clearly above the 10-class chance
+	// level at every jitter setting.
+	for _, r := range rows {
+		if r.FinalAccuracy < 0.14 {
+			t.Fatalf("σ=%.1f broke convergence (%.3f)", r.JitterSigma, r.FinalAccuracy)
+		}
+	}
+	if !strings.Contains(FormatAsyncSweep(rows), "jitterSigma") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestQuorumSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	rows, err := QuorumSweep(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 sweep rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Quorum != 2*r.DeclaredF+3 {
+			t.Fatalf("quorum mismatch: f=%d q=%d", r.DeclaredF, r.Quorum)
+		}
+		if r.FinalAccuracy <= 0.1 {
+			t.Fatalf("sweep run at f=%d failed to learn (%.3f)", r.DeclaredF, r.FinalAccuracy)
+		}
+	}
+	if !strings.Contains(FormatQuorumSweep(rows), "declaredF") {
+		t.Fatal("format broken")
+	}
+}

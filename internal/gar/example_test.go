@@ -1,0 +1,57 @@
+package gar_test
+
+import (
+	"fmt"
+
+	"repro/internal/gar"
+	"repro/internal/tensor"
+)
+
+// Multi-Krum tolerates f arbitrary inputs among n ≥ 2f+3: the outlier below
+// cannot move the aggregate away from the honest cluster.
+func ExampleMultiKrum() {
+	honest := []tensor.Vector{
+		{1.0, 1.0}, {1.01, 0.99}, {0.99, 1.01}, {1.0, 1.0},
+	}
+	byzantine := tensor.Vector{1e9, -1e9}
+	inputs := append(honest, byzantine)
+
+	out, err := gar.MultiKrum{F: 1}.Aggregate(inputs)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("aggregate ≈ (%.1f, %.1f)\n", out[0], out[1])
+	// Output:
+	// aggregate ≈ (1.0, 1.0)
+}
+
+// The coordinate-wise median is the parameter-aggregation rule M: each
+// output coordinate is the median of that coordinate over the inputs, so a
+// minority of arbitrary vectors cannot pull any coordinate outside the
+// honest range.
+func ExampleMedian() {
+	inputs := []tensor.Vector{
+		{1, 10}, {2, 20}, {3, 30}, {1e12, -1e12},
+	}
+	out, err := gar.Median{}.Aggregate(inputs)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("median = (%.1f, %.1f)\n", out[0], out[1])
+	// Output:
+	// median = (2.5, 15.0)
+}
+
+// The deployment bounds of the paper: n ≥ 3f+3 nodes and quorums in
+// [2f+3, n−f].
+func ExampleCheckDeployment() {
+	fmt.Println(gar.CheckDeployment("server", 6, 1)) // legal
+	fmt.Println(gar.CheckDeployment("server", 5, 1) != nil)
+	fmt.Println(gar.MinQuorum(5), gar.MaxQuorum(18, 5))
+	// Output:
+	// <nil>
+	// true
+	// 13 13
+}

@@ -1,0 +1,367 @@
+// Package gar implements the Gradient Aggregation Rules (GARs) of the paper:
+// the coordinate-wise median M used for parameter-vector aggregation, the
+// Multi-Krum rule F used for gradient aggregation, the vulnerable arithmetic
+// mean baseline, and two extension rules (trimmed mean, Bulyan).
+//
+// A GAR is a function (R^d)^n → R^d. A (α,f)-Byzantine-resilient GAR
+// tolerates f arbitrary inputs among its n inputs. The package also exposes
+// the legality checks the theory requires (n ≥ 2f+3 for Multi-Krum,
+// quorum bounds 2f+3 ≤ q ≤ n−f, deployment bound n ≥ 3f+3).
+package gar
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Rule is a gradient aggregation rule.
+type Rule interface {
+	// Name identifies the rule in logs and experiment tables.
+	Name() string
+	// Aggregate combines the input vectors into one output vector. Inputs
+	// are not modified; the output is freshly allocated. An error is
+	// returned when the input set is too small for the rule's resilience
+	// guarantee to hold.
+	Aggregate(inputs []tensor.Vector) (tensor.Vector, error)
+}
+
+// ErrTooFewInputs is returned when a rule receives fewer inputs than its
+// Byzantine-resilience precondition requires.
+var ErrTooFewInputs = errors.New("gar: too few inputs for rule precondition")
+
+// SelectiveRule is implemented by rules that filter a subset of their
+// inputs (rather than blending all of them): SelectIndices reports which
+// inputs the rule keeps. Deployments use it for accountability — repeatedly
+// excluded senders are likely Byzantine (see stats.Suspicion).
+type SelectiveRule interface {
+	Rule
+	// SelectIndices returns the indices of the inputs the rule's output is
+	// built from.
+	SelectIndices(inputs []tensor.Vector) ([]int, error)
+}
+
+func checkInputs(inputs []tensor.Vector) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("%w: empty input set", ErrTooFewInputs)
+	}
+	d := len(inputs[0])
+	for i, v := range inputs {
+		if len(v) != d {
+			return fmt.Errorf("gar: input %d has dimension %d, want %d", i, len(v), d)
+		}
+	}
+	return nil
+}
+
+// Mean is the arithmetic mean: the standard non-Byzantine aggregation
+// ("vanilla TF" in the paper). A single Byzantine input can move its output
+// arbitrarily — it is the baseline GuanYu is compared against.
+type Mean struct{}
+
+var _ Rule = Mean{}
+
+// Name implements Rule.
+func (Mean) Name() string { return "mean" }
+
+// Aggregate implements Rule.
+func (Mean) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	if err := checkInputs(inputs); err != nil {
+		return nil, err
+	}
+	return tensor.Mean(inputs), nil
+}
+
+// Median is the coordinate-wise median M: coordinate i of the output is the
+// scalar median of coordinate i over all inputs. Its geometric contraction
+// property (Section 9.2.3 of the paper) is what prevents correct parameter
+// servers from drifting apart.
+type Median struct{}
+
+var _ Rule = Median{}
+
+// Name implements Rule.
+func (Median) Name() string { return "coordinate-median" }
+
+// Aggregate implements Rule.
+func (Median) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	if err := checkInputs(inputs); err != nil {
+		return nil, err
+	}
+	d := len(inputs[0])
+	out := make(tensor.Vector, d)
+	col := make([]float64, len(inputs))
+	for i := 0; i < d; i++ {
+		for j, v := range inputs {
+			col[j] = v[i]
+		}
+		out[i] = medianInPlace(col)
+	}
+	return out, nil
+}
+
+// medianInPlace computes the median of xs, permuting xs.
+func medianInPlace(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return xs[n/2-1]/2 + xs[n/2]/2
+}
+
+// KrumScores returns the Krum score of every input: the score of input x is
+// the sum of squared distances between x and its n−f−2 closest other inputs.
+// Lower scores indicate vectors in denser (more plausibly honest)
+// neighbourhoods.
+func KrumScores(inputs []tensor.Vector, f int) ([]float64, error) {
+	n := len(inputs)
+	if n < 2*f+3 {
+		return nil, fmt.Errorf("%w: Krum needs n ≥ 2f+3, got n=%d f=%d",
+			ErrTooFewInputs, n, f)
+	}
+	// Pairwise squared distances.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := tensor.SquaredDistance(inputs[i], inputs[j])
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+	k := n - f - 2 // number of closest neighbours in the score
+	scores := make([]float64, n)
+	row := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				row = append(row, dist[i][j])
+			}
+		}
+		sort.Float64s(row)
+		var s float64
+		for _, d := range row[:k] {
+			s += d
+		}
+		scores[i] = s
+	}
+	return scores, nil
+}
+
+// Krum selects the single smallest-scoring input (Blanchard et al., 2017).
+type Krum struct {
+	// F is the declared number of Byzantine inputs tolerated.
+	F int
+}
+
+var _ Rule = Krum{}
+
+// Name implements Rule.
+func (k Krum) Name() string { return fmt.Sprintf("krum(f=%d)", k.F) }
+
+// Aggregate implements Rule.
+func (k Krum) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	if err := checkInputs(inputs); err != nil {
+		return nil, err
+	}
+	scores, err := KrumScores(inputs, k.F)
+	if err != nil {
+		return nil, err
+	}
+	best := 0
+	for i, s := range scores {
+		if s < scores[best] {
+			best = i
+		}
+	}
+	return tensor.Clone(inputs[best]), nil
+}
+
+// MultiKrum is the paper's F: it averages the n−f−2 smallest-scoring inputs.
+// It is (α,f)-Byzantine resilient for n ≥ 2f+3 and, unlike Krum, keeps most
+// of the variance-reduction benefit of averaging.
+type MultiKrum struct {
+	// F is the declared number of Byzantine inputs tolerated.
+	F int
+}
+
+var _ Rule = MultiKrum{}
+
+// Name implements Rule.
+func (m MultiKrum) Name() string { return fmt.Sprintf("multi-krum(f=%d)", m.F) }
+
+// Aggregate implements Rule.
+func (m MultiKrum) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	if err := checkInputs(inputs); err != nil {
+		return nil, err
+	}
+	selected, err := MultiKrumSelect(inputs, m.F)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Mean(selected), nil
+}
+
+// SelectIndices implements SelectiveRule.
+func (m MultiKrum) SelectIndices(inputs []tensor.Vector) ([]int, error) {
+	return MultiKrumSelectIndices(inputs, m.F)
+}
+
+var _ SelectiveRule = MultiKrum{}
+
+// MultiKrumSelect returns the n−f−2 smallest-scoring inputs (the set whose
+// mean Multi-Krum outputs). Exposed for tests and for Bulyan.
+func MultiKrumSelect(inputs []tensor.Vector, f int) ([]tensor.Vector, error) {
+	idx, err := MultiKrumSelectIndices(inputs, f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]tensor.Vector, len(idx))
+	for i, k := range idx {
+		out[i] = inputs[k]
+	}
+	return out, nil
+}
+
+// MultiKrumSelectIndices returns the indices of the n−f−2 smallest-scoring
+// inputs. The complement — the f+2 highest-scoring inputs — is the set the
+// rule effectively accuses of being outliers; callers use it to maintain
+// per-sender suspicion statistics (see stats.Suspicion).
+func MultiKrumSelectIndices(inputs []tensor.Vector, f int) ([]int, error) {
+	scores, err := KrumScores(inputs, f)
+	if err != nil {
+		return nil, err
+	}
+	n := len(inputs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	return idx[:n-f-2], nil
+}
+
+// TrimmedMean is the coordinate-wise trimmed mean: per coordinate, the f
+// smallest and f largest values are discarded and the rest averaged.
+// Requires n ≥ 2f+1. Provided as an ablation alternative to Multi-Krum.
+type TrimmedMean struct {
+	// F is the number of values trimmed from each tail.
+	F int
+}
+
+var _ Rule = TrimmedMean{}
+
+// Name implements Rule.
+func (t TrimmedMean) Name() string { return fmt.Sprintf("trimmed-mean(f=%d)", t.F) }
+
+// Aggregate implements Rule.
+func (t TrimmedMean) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	if err := checkInputs(inputs); err != nil {
+		return nil, err
+	}
+	n := len(inputs)
+	if n < 2*t.F+1 {
+		return nil, fmt.Errorf("%w: trimmed mean needs n ≥ 2f+1, got n=%d f=%d",
+			ErrTooFewInputs, n, t.F)
+	}
+	d := len(inputs[0])
+	out := make(tensor.Vector, d)
+	col := make([]float64, n)
+	kept := float64(n - 2*t.F)
+	for i := 0; i < d; i++ {
+		for j, v := range inputs {
+			col[j] = v[i]
+		}
+		sort.Float64s(col)
+		var s float64
+		for _, x := range col[t.F : n-t.F] {
+			s += x
+		}
+		out[i] = s / kept
+	}
+	return out, nil
+}
+
+// Bulyan composes Multi-Krum selection with a coordinate-wise trimmed
+// aggregation (El-Mhamdi et al., ICML 2018 — "The hidden vulnerability of
+// distributed learning in Byzantium"). It defends against attacks that hide
+// large per-coordinate deviations inside small Euclidean distances, at the
+// price of the stronger requirement n ≥ 4f+3.
+type Bulyan struct {
+	// F is the declared number of Byzantine inputs tolerated.
+	F int
+}
+
+var _ Rule = Bulyan{}
+
+// Name implements Rule.
+func (b Bulyan) Name() string { return fmt.Sprintf("bulyan(f=%d)", b.F) }
+
+// Aggregate implements Rule.
+func (b Bulyan) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
+	if err := checkInputs(inputs); err != nil {
+		return nil, err
+	}
+	n, f := len(inputs), b.F
+	if n < 4*f+3 {
+		return nil, fmt.Errorf("%w: Bulyan needs n ≥ 4f+3, got n=%d f=%d",
+			ErrTooFewInputs, n, f)
+	}
+	// Phase 1: iteratively pick θ = n − 2f vectors by repeated Krum
+	// selection, removing each winner from the pool.
+	pool := make([]tensor.Vector, n)
+	copy(pool, inputs)
+	theta := n - 2*f
+	selected := make([]tensor.Vector, 0, theta)
+	for len(selected) < theta {
+		scores, err := KrumScores(pool, f)
+		if err != nil {
+			// Pool shrank below the Krum precondition: fall back to taking
+			// the remaining vectors directly (still ≥ 2f+1 of them).
+			selected = append(selected, pool...)
+			selected = selected[:theta]
+			break
+		}
+		best := 0
+		for i, s := range scores {
+			if s < scores[best] {
+				best = i
+			}
+		}
+		selected = append(selected, pool[best])
+		pool = append(pool[:best], pool[best+1:]...)
+	}
+	// Phase 2: per coordinate, average the β = θ − 2f values closest to the
+	// median of the selected set.
+	d := len(inputs[0])
+	beta := theta - 2*f
+	out := make(tensor.Vector, d)
+	col := make([]float64, len(selected))
+	for i := 0; i < d; i++ {
+		for j, v := range selected {
+			col[j] = v[i]
+		}
+		sort.Float64s(col)
+		// The β values closest to the median form the tightest contiguous
+		// window of the sorted column; slide to find it.
+		bestLo, bestSpread := 0, col[beta-1]-col[0]
+		for lo := 1; lo+beta <= len(col); lo++ {
+			if s := col[lo+beta-1] - col[lo]; s < bestSpread {
+				bestSpread = s
+				bestLo = lo
+			}
+		}
+		var s float64
+		for _, x := range col[bestLo : bestLo+beta] {
+			s += x
+		}
+		out[i] = s / float64(beta)
+	}
+	return out, nil
+}

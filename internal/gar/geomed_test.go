@@ -1,0 +1,149 @@
+package gar
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestGeoMedOnSymmetricPoints(t *testing.T) {
+	// The geometric median of a symmetric configuration is its centre.
+	inputs := vecs(
+		tensor.Vector{1, 0}, tensor.Vector{-1, 0},
+		tensor.Vector{0, 1}, tensor.Vector{0, -1})
+	out, err := GeoMed{}.Aggregate(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.Norm2(out) > 1e-6 {
+		t.Fatalf("geometric median of symmetric cloud = %v, want origin", out)
+	}
+}
+
+func TestGeoMedRobustToOutlier(t *testing.T) {
+	rng := tensor.NewRNG(60)
+	inputs := make([]tensor.Vector, 0, 7)
+	for i := 0; i < 6; i++ {
+		inputs = append(inputs, rng.NormVec(make(tensor.Vector, 3), 5, 0.1))
+	}
+	inputs = append(inputs, tensor.Vector{1e9, 1e9, 1e9})
+	out, err := GeoMed{}.Aggregate(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range out {
+		if math.Abs(x-5) > 1 {
+			t.Fatalf("outlier moved geometric median at %d: %v", i, out)
+		}
+	}
+}
+
+func TestGeoMedCoincidentInput(t *testing.T) {
+	// When the starting median coincides with an input, Weiszfeld must not
+	// divide by zero.
+	inputs := vecs(tensor.Vector{1, 1}, tensor.Vector{1, 1}, tensor.Vector{1, 1})
+	out, err := GeoMed{}.Aggregate(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 1 {
+		t.Fatalf("geomed of identical points = %v", out)
+	}
+}
+
+// Property: the geometric median's summed distance is no worse than the
+// coordinate-wise median's (it minimises exactly that objective).
+func TestGeoMedMinimisesSumDistance(t *testing.T) {
+	sumDist := func(y tensor.Vector, inputs []tensor.Vector) float64 {
+		var s float64
+		for _, x := range inputs {
+			s += tensor.Distance(x, y)
+		}
+		return s
+	}
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n, d := 3+rng.Intn(6), 1+rng.Intn(4)
+		inputs := make([]tensor.Vector, n)
+		for i := range inputs {
+			inputs[i] = rng.NormVec(make(tensor.Vector, d), 0, 2)
+		}
+		gm, err := GeoMed{}.Aggregate(inputs)
+		if err != nil {
+			return false
+		}
+		cm, err := Median{}.Aggregate(inputs)
+		if err != nil {
+			return false
+		}
+		return sumDist(gm, inputs) <= sumDist(cm, inputs)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMDAPicksTightestSubset(t *testing.T) {
+	// 4 clustered + 1 far point with f=1: MDA must average the cluster.
+	inputs := vecs(
+		tensor.Vector{1.0}, tensor.Vector{1.1}, tensor.Vector{0.9},
+		tensor.Vector{1.05}, tensor.Vector{100})
+	out, err := MDA{F: 1}.Aggregate(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1.0 + 1.1 + 0.9 + 1.05) / 4
+	if math.Abs(out[0]-want) > 1e-12 {
+		t.Fatalf("MDA = %v, want %v", out[0], want)
+	}
+}
+
+func TestMDAZeroFIsMean(t *testing.T) {
+	inputs := vecs(tensor.Vector{1}, tensor.Vector{3})
+	out, err := MDA{F: 0}.Aggregate(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 {
+		t.Fatalf("MDA(f=0) = %v", out[0])
+	}
+}
+
+func TestMDAPreconditions(t *testing.T) {
+	inputs := vecs(tensor.Vector{1}, tensor.Vector{2})
+	if _, err := (MDA{F: 2}).Aggregate(inputs); !errors.Is(err, ErrTooFewInputs) {
+		t.Fatalf("n ≤ f accepted: %v", err)
+	}
+	if _, err := (MDA{F: -1}).Aggregate(inputs); !errors.Is(err, ErrTooFewInputs) {
+		t.Fatalf("negative f accepted: %v", err)
+	}
+}
+
+// Property: MDA's output lies in the convex hull of the honest cluster when
+// the f Byzantine points are far outliers.
+func TestMDAConfinementProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		fByz := 1 + rng.Intn(2)
+		n := fByz + 4 + rng.Intn(3)
+		d := 1 + rng.Intn(3)
+		inputs := make([]tensor.Vector, 0, n)
+		for i := 0; i < n-fByz; i++ {
+			inputs = append(inputs, rng.NormVec(make(tensor.Vector, d), 0, 1))
+		}
+		for i := 0; i < fByz; i++ {
+			inputs = append(inputs, rng.NormVec(make(tensor.Vector, d), 1e7, 1))
+		}
+		out, err := MDA{F: fByz}.Aggregate(inputs)
+		if err != nil {
+			return false
+		}
+		return tensor.Norm2(out) < 1e3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package gar
+
+import "fmt"
+
+// The theoretical preconditions of GuanYu (Section 3.2 of the paper):
+//
+//	n  ≥ 3f+3    parameter servers, f Byzantine
+//	n̄  ≥ 3f̄+3    workers, f̄ Byzantine
+//	2f+3 ≤ q ≤ n−f      quorum for the coordinate-wise median M
+//	2f̄+3 ≤ q̄ ≤ n̄−f̄      quorum for Multi-Krum F
+//
+// These helpers centralise the checks so every deployment entry point
+// validates against the same statement of the theory.
+
+// CheckDeployment verifies the population bound n ≥ 3f+3 for one node role.
+func CheckDeployment(role string, n, f int) error {
+	if f < 0 {
+		return fmt.Errorf("gar: negative Byzantine count f=%d for %s", f, role)
+	}
+	if n < 3*f+3 {
+		return fmt.Errorf("gar: %s population n=%d violates n ≥ 3f+3 with f=%d",
+			role, n, f)
+	}
+	return nil
+}
+
+// CheckQuorum verifies 2f+3 ≤ q ≤ n−f for one node role.
+func CheckQuorum(role string, n, f, q int) error {
+	if q < 2*f+3 {
+		return fmt.Errorf("gar: %s quorum q=%d violates q ≥ 2f+3 with f=%d",
+			role, q, f)
+	}
+	if q > n-f {
+		return fmt.Errorf("gar: %s quorum q=%d violates q ≤ n−f with n=%d f=%d",
+			role, q, n, f)
+	}
+	return nil
+}
+
+// MinQuorum returns the smallest legal quorum 2f+3 for the given f.
+func MinQuorum(f int) int { return 2*f + 3 }
+
+// MaxQuorum returns the largest legal quorum n−f.
+func MaxQuorum(n, f int) int { return n - f }
+
+// MinPopulation returns the smallest legal population 3f+3 for the given f.
+func MinPopulation(f int) int { return 3*f + 3 }
+
+// BreakdownPoint returns the asymptotically optimal Byzantine fraction the
+// paper derives for asynchronous networks: 1/3 (Section 3.5). Exposed so the
+// documentation examples and the EXPERIMENTS harness quote a single source.
+func BreakdownPoint() float64 { return 1.0 / 3.0 }

@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// Checkpoint is the serialized state of a model: its flattened parameter
+// vector plus the dimension for integrity checking. The architecture itself
+// is code, not data — loading requires a structurally identical model, which
+// mirrors how the protocol ships raw parameter vectors between replicas.
+type Checkpoint struct {
+	// Dim is the parameter-space dimension d.
+	Dim int
+	// Theta is the flattened parameter vector.
+	Theta tensor.Vector
+	// Step optionally records the training step the snapshot was taken at.
+	Step int
+}
+
+// SaveCheckpoint writes the model's current parameters to w (gob-encoded).
+func SaveCheckpoint(w io.Writer, m *Sequential, step int) error {
+	ck := Checkpoint{Dim: m.ParamCount(), Theta: m.ParamVector(), Step: step}
+	if err := gob.NewEncoder(w).Encode(&ck); err != nil {
+		return fmt.Errorf("nn: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint from r and installs it into m. It
+// returns the recorded step. The model must have the same parameter count
+// as the one that produced the checkpoint.
+func LoadCheckpoint(r io.Reader, m *Sequential) (int, error) {
+	var ck Checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return 0, fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	if ck.Dim != len(ck.Theta) {
+		return 0, fmt.Errorf("nn: corrupt checkpoint: dim %d vs %d values", ck.Dim, len(ck.Theta))
+	}
+	if !tensor.IsFinite(ck.Theta) {
+		return 0, fmt.Errorf("nn: corrupt checkpoint: non-finite parameters")
+	}
+	if err := m.SetParamVector(ck.Theta); err != nil {
+		return 0, err
+	}
+	return ck.Step, nil
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(40)
+	m := NewTinyConvNet(rng, 10)
+	want := m.ParamVector()
+
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m, 123); err != nil {
+		t.Fatal(err)
+	}
+
+	other := NewTinyConvNet(tensor.NewRNG(41), 10) // different init
+	step, err := LoadCheckpoint(&buf, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 123 {
+		t.Fatalf("step = %d", step)
+	}
+	got := other.ParamVector()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("checkpoint mismatch at %d", i)
+		}
+	}
+}
+
+func TestCheckpointDimensionMismatch(t *testing.T) {
+	rng := tensor.NewRNG(42)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, NewMLP(rng, 2, 3, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(&buf, NewMLP(rng, 4, 4, 2)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	rng := tensor.NewRNG(43)
+	m := NewMLP(rng, 2, 3, 2)
+
+	// Truncated stream.
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m, 0); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()/2])
+	if _, err := LoadCheckpoint(trunc, m); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+
+	// Non-finite parameters.
+	theta := m.ParamVector()
+	theta[0] = math.NaN()
+	if err := m.SetParamVector(theta); err != nil {
+		t.Fatal(err)
+	}
+	var nanBuf bytes.Buffer
+	if err := SaveCheckpoint(&nanBuf, m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(&nanBuf, m); err == nil {
+		t.Fatal("NaN checkpoint accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over channels-first C×H×W activations with
+// zero padding and square stride. Kernels are stored as a flat buffer of
+// shape outC×inC×kH×kW.
+type Conv2D struct {
+	inC, inH, inW  int
+	outC, kH, kW   int
+	stride, pad    int
+	outH, outW     int
+	kern           []float64 // outC*inC*kH*kW
+	bias           []float64 // outC
+	gradKern       []float64
+	gradBias       []float64
+	lastIn         []float64
+	outBuf, dinBuf []float64
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D builds a convolution layer. Output spatial dims are
+// (in + 2·pad − k)/stride + 1 per axis. It panics on a non-positive output
+// size — a construction-time programming error, in line with package policy
+// of panicking only on misuse.
+func NewConv2D(inC, inH, inW, outC, kH, kW, stride, pad int, rng *tensor.RNG) *Conv2D {
+	outH := (inH+2*pad-kH)/stride + 1
+	outW := (inW+2*pad-kW)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic("nn: Conv2D output size is non-positive")
+	}
+	c := &Conv2D{
+		inC: inC, inH: inH, inW: inW,
+		outC: outC, kH: kH, kW: kW,
+		stride: stride, pad: pad,
+		outH: outH, outW: outW,
+		kern:     make([]float64, outC*inC*kH*kW),
+		bias:     make([]float64, outC),
+		gradKern: make([]float64, outC*inC*kH*kW),
+		gradBias: make([]float64, outC),
+		outBuf:   make([]float64, outC*outH*outW),
+		dinBuf:   make([]float64, inC*inH*inW),
+	}
+	fanIn := float64(inC * kH * kW)
+	limit := math.Sqrt(6.0 / fanIn)
+	for i := range c.kern {
+		c.kern[i] = (2*rng.Float64() - 1) * limit
+	}
+	return c
+}
+
+// OutputShape returns (channels, height, width) of the output activation.
+func (c *Conv2D) OutputShape() (int, int, int) { return c.outC, c.outH, c.outW }
+
+// Forward computes the convolution.
+func (c *Conv2D) Forward(x []float64) []float64 {
+	c.lastIn = x
+	for oc := 0; oc < c.outC; oc++ {
+		b := c.bias[oc]
+		for oy := 0; oy < c.outH; oy++ {
+			for ox := 0; ox < c.outW; ox++ {
+				sum := b
+				iy0 := oy*c.stride - c.pad
+				ix0 := ox*c.stride - c.pad
+				for ic := 0; ic < c.inC; ic++ {
+					kBase := ((oc*c.inC+ic)*c.kH)*c.kW - 0
+					inBase := ic * c.inH * c.inW
+					for ky := 0; ky < c.kH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= c.inH {
+							continue
+						}
+						kRow := kBase + ky*c.kW
+						inRow := inBase + iy*c.inW
+						for kx := 0; kx < c.kW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= c.inW {
+								continue
+							}
+							sum += c.kern[kRow+kx] * x[inRow+ix]
+						}
+					}
+				}
+				c.outBuf[(oc*c.outH+oy)*c.outW+ox] = sum
+			}
+		}
+	}
+	return c.outBuf
+}
+
+// Backward accumulates kernel/bias gradients and returns dL/d(input).
+func (c *Conv2D) Backward(dout []float64) []float64 {
+	din := c.dinBuf
+	for i := range din {
+		din[i] = 0
+	}
+	x := c.lastIn
+	for oc := 0; oc < c.outC; oc++ {
+		for oy := 0; oy < c.outH; oy++ {
+			for ox := 0; ox < c.outW; ox++ {
+				g := dout[(oc*c.outH+oy)*c.outW+ox]
+				if g == 0 {
+					continue
+				}
+				c.gradBias[oc] += g
+				iy0 := oy*c.stride - c.pad
+				ix0 := ox*c.stride - c.pad
+				for ic := 0; ic < c.inC; ic++ {
+					kBase := (oc*c.inC + ic) * c.kH * c.kW
+					inBase := ic * c.inH * c.inW
+					for ky := 0; ky < c.kH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= c.inH {
+							continue
+						}
+						kRow := kBase + ky*c.kW
+						inRow := inBase + iy*c.inW
+						for kx := 0; kx < c.kW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= c.inW {
+								continue
+							}
+							c.gradKern[kRow+kx] += g * x[inRow+ix]
+							din[inRow+ix] += g * c.kern[kRow+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return din
+}
+
+// Params returns [kernels, bias].
+func (c *Conv2D) Params() [][]float64 { return [][]float64{c.kern, c.bias} }
+
+// Grads returns [dKernels, dBias].
+func (c *Conv2D) Grads() [][]float64 { return [][]float64{c.gradKern, c.gradBias} }
+
+// OutputSize returns outC·outH·outW.
+func (c *Conv2D) OutputSize() int { return c.outC * c.outH * c.outW }
+
+// Clone returns a deep copy with fresh scratch buffers.
+func (c *Conv2D) Clone() Layer {
+	cp := *c
+	cp.kern = append([]float64(nil), c.kern...)
+	cp.bias = append([]float64(nil), c.bias...)
+	cp.gradKern = make([]float64, len(c.gradKern))
+	cp.gradBias = make([]float64, len(c.gradBias))
+	cp.outBuf = make([]float64, len(c.outBuf))
+	cp.dinBuf = make([]float64, len(c.dinBuf))
+	cp.lastIn = nil
+	return &cp
+}

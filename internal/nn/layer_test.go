@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestParamVectorRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	m := NewMLP(rng, 3, 5, 2)
+	theta := m.ParamVector()
+	if len(theta) != m.ParamCount() {
+		t.Fatalf("ParamVector length %d vs ParamCount %d", len(theta), m.ParamCount())
+	}
+	// Perturb and restore.
+	perturbed := tensor.Clone(theta)
+	for i := range perturbed {
+		perturbed[i] += float64(i)
+	}
+	if err := m.SetParamVector(perturbed); err != nil {
+		t.Fatal(err)
+	}
+	got := m.ParamVector()
+	for i := range got {
+		if got[i] != perturbed[i] {
+			t.Fatalf("round-trip mismatch at %d: %v vs %v", i, got[i], perturbed[i])
+		}
+	}
+}
+
+func TestSetParamVectorDimensionError(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	m := NewMLP(rng, 2, 2)
+	if err := m.SetParamVector(make(tensor.Vector, m.ParamCount()+1)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+// Property: ParamVector ∘ SetParamVector is the identity for random vectors.
+func TestParamRoundTripProperty(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	m := NewMLP(rng, 4, 3, 2)
+	d := m.ParamCount()
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		v := r.NormVec(make(tensor.Vector, d), 0, 10)
+		if err := m.SetParamVector(v); err != nil {
+			return false
+		}
+		got := m.ParamVector()
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	m := NewTinyConvNet(rng, 10)
+	c := m.Clone()
+	if c.ParamCount() != m.ParamCount() {
+		t.Fatalf("clone dim %d vs %d", c.ParamCount(), m.ParamCount())
+	}
+	before := m.ParamVector()
+	zero := make(tensor.Vector, c.ParamCount())
+	if err := c.SetParamVector(zero); err != nil {
+		t.Fatal(err)
+	}
+	after := m.ParamVector()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("mutating clone changed the original model")
+		}
+	}
+	// Clones also compute the same forward pass when given same params.
+	if err := c.SetParamVector(before); err != nil {
+		t.Fatal(err)
+	}
+	x := rng.NormVec(make([]float64, 3*8*8), 0, 1)
+	a, b := m.Forward(x), c.Forward(x)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("clone forward differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestZeroGradAndAccumulation(t *testing.T) {
+	rng := tensor.NewRNG(14)
+	m := NewMLP(rng, 3, 4, 2)
+	x := rng.NormVec(make([]float64, 3), 0, 1)
+
+	g1 := analyticGrad(m, x, 0) // includes ZeroGrad
+	// Two accumulated backward passes on the same example = 2× gradient.
+	m.ZeroGrad()
+	for k := 0; k < 2; k++ {
+		out := m.Forward(x)
+		_, dout := SoftmaxCrossEntropy(out, 0)
+		m.Backward(dout)
+	}
+	g2 := m.GradVector(1)
+	for i := range g1 {
+		if math.Abs(g2[i]-2*g1[i]) > 1e-9 {
+			t.Fatalf("accumulation broken at %d: %v vs 2·%v", i, g2[i], g1[i])
+		}
+	}
+}
+
+func TestGradVectorScaling(t *testing.T) {
+	rng := tensor.NewRNG(15)
+	m := NewMLP(rng, 2, 3, 2)
+	x := []float64{0.5, -0.2}
+	m.ZeroGrad()
+	out := m.Forward(x)
+	_, dout := SoftmaxCrossEntropy(out, 1)
+	m.Backward(dout)
+	g1 := m.GradVector(1)
+
+	m.ZeroGrad()
+	out = m.Forward(x)
+	_, dout = SoftmaxCrossEntropy(out, 1)
+	m.Backward(dout)
+	gHalf := m.GradVector(0.5)
+	for i := range g1 {
+		if math.Abs(gHalf[i]-0.5*g1[i]) > 1e-12 {
+			t.Fatalf("GradVector scaling broken at %d", i)
+		}
+	}
+}
+
+func TestSummaryAndTable1ParamCount(t *testing.T) {
+	rng := tensor.NewRNG(16)
+	m := NewCIFARNet(rng)
+	// Table 1 architecture: conv1 4,864 + conv2 102,464 + fc1 1,573,248 +
+	// fc2 73,920 + fc3 1,930 = 1,756,426 parameters ("1.75M" in the paper).
+	const want = 4864 + 102464 + 1573248 + 73920 + 1930
+	if m.ParamCount() != want {
+		t.Fatalf("CIFARNet has %d params, want %d", m.ParamCount(), want)
+	}
+	infos := m.Summary()
+	var sum int
+	for _, li := range infos {
+		sum += li.ParamCount
+	}
+	if sum != want {
+		t.Fatalf("Summary params add to %d, want %d", sum, want)
+	}
+}
+
+func TestCIFARNetForwardShape(t *testing.T) {
+	rng := tensor.NewRNG(17)
+	m := NewCIFARNet(rng)
+	x := rng.NormVec(make([]float64, 3*32*32), 0, 1)
+	out := m.Forward(x)
+	if len(out) != 10 {
+		t.Fatalf("CIFARNet output size %d, want 10", len(out))
+	}
+	if !tensor.IsFinite(out) {
+		t.Fatal("CIFARNet forward produced non-finite logits")
+	}
+}
+
+func TestMLPConstructionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for MLP with one size")
+		}
+	}()
+	NewMLP(tensor.NewRNG(0), 3)
+}

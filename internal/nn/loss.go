@@ -1,0 +1,80 @@
+package nn
+
+import "math"
+
+// SoftmaxCrossEntropy computes the softmax cross-entropy loss for a single
+// example and its gradient with respect to the logits. label is the true
+// class index. The returned gradient slice is freshly allocated.
+//
+// The implementation uses the max-shift trick for numerical stability, so it
+// is safe on logits of any magnitude (Byzantine models can drive activations
+// to extreme values; the evaluation path must not produce NaNs of its own).
+func SoftmaxCrossEntropy(logits []float64, label int) (loss float64, dlogits []float64) {
+	maxL := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	var sum float64
+	dlogits = make([]float64, len(logits))
+	for i, v := range logits {
+		e := math.Exp(v - maxL)
+		dlogits[i] = e
+		sum += e
+	}
+	logSum := math.Log(sum)
+	loss = logSum - (logits[label] - maxL)
+	inv := 1 / sum
+	for i := range dlogits {
+		dlogits[i] *= inv
+	}
+	dlogits[label] -= 1
+	return loss, dlogits
+}
+
+// Softmax returns the softmax probabilities of the logits (stable).
+func Softmax(logits []float64) []float64 {
+	maxL := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxL)
+		out[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Argmax returns the index of the largest element (first winner on ties).
+func Argmax(xs []float64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MSE computes the mean-squared-error loss ½‖pred − target‖² for a single
+// example and its gradient with respect to pred. Used by regression-style
+// unit tests and the quickstart example.
+func MSE(pred, target []float64) (loss float64, dpred []float64) {
+	dpred = make([]float64, len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		dpred[i] = d
+		loss += 0.5 * d * d
+	}
+	return loss, dpred
+}

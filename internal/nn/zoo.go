@@ -1,0 +1,87 @@
+package nn
+
+import "repro/internal/tensor"
+
+// NewMLP builds a multi-layer perceptron with ReLU activations between the
+// given layer sizes, e.g. NewMLP(rng, 2, 16, 16, 3) for a 2-feature,
+// 3-class classifier. Used for the blob/spiral workloads.
+func NewMLP(rng *tensor.RNG, sizes ...int) *Sequential {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	layers := make([]Layer, 0, 2*len(sizes)-3)
+	for i := 0; i+1 < len(sizes); i++ {
+		layers = append(layers, NewDense(sizes[i], sizes[i+1], rng))
+		if i+2 < len(sizes) {
+			layers = append(layers, NewReLU(sizes[i+1]))
+		}
+	}
+	return NewSequential(layers...)
+}
+
+// TinyConvNet describes the scaled-down CNN used by the experiment harness
+// (sized so a full convergence run fits on a single-CPU CI machine). Input is
+// an 8×8×3 channels-first image, output is numClasses logits.
+func NewTinyConvNet(rng *tensor.RNG, numClasses int) *Sequential {
+	conv1 := NewConv2D(3, 8, 8, 6, 3, 3, 1, 1, rng)  // → 6×8×8
+	pool1 := NewMaxPool2D(6, 8, 8, 2, 2, 0)          // → 6×4×4
+	conv2 := NewConv2D(6, 4, 4, 12, 3, 3, 1, 1, rng) // → 12×4×4
+	pool2 := NewMaxPool2D(12, 4, 4, 2, 2, 0)         // → 12×2×2
+	return NewSequential(
+		conv1, NewReLU(conv1.OutputSize()), pool1,
+		conv2, NewReLU(conv2.OutputSize()), pool2,
+		NewDense(48, 32, rng), NewReLU(32),
+		NewDense(32, numClasses, rng),
+	)
+}
+
+// NewCIFARNet builds the exact architecture of Table 1 in the paper: a
+// 32×32×3 input, two 5×5×64 convolutions each followed by 3×3 stride-2 max
+// pooling, then fully-connected layers of 384, 192 and 10 units — about
+// 1.75 M parameters.
+func NewCIFARNet(rng *tensor.RNG) *Sequential {
+	conv1 := NewConv2D(3, 32, 32, 64, 5, 5, 1, 2, rng)  // SAME → 64×32×32
+	pool1 := NewMaxPool2D(64, 32, 32, 3, 2, 1)          // → 64×16×16
+	conv2 := NewConv2D(64, 16, 16, 64, 5, 5, 1, 2, rng) // SAME → 64×16×16
+	pool2 := NewMaxPool2D(64, 16, 16, 3, 2, 1)          // → 64×8×8
+	return NewSequential(
+		conv1, NewReLU(conv1.OutputSize()), pool1,
+		conv2, NewReLU(conv2.OutputSize()), pool2,
+		NewDense(64*8*8, 384, rng), NewReLU(384),
+		NewDense(384, 192, rng), NewReLU(192),
+		NewDense(192, 10, rng),
+	)
+}
+
+// BatchGradient runs forward/backward over a mini-batch and returns the mean
+// loss and the mean gradient vector ∇̂L(θ). This is the worker-side gradient
+// estimation primitive of the protocol.
+func BatchGradient(m *Sequential, xs [][]float64, labels []int) (float64, tensor.Vector) {
+	if len(xs) == 0 || len(xs) != len(labels) {
+		panic("nn: BatchGradient needs a non-empty, aligned batch")
+	}
+	m.ZeroGrad()
+	var total float64
+	for i, x := range xs {
+		out := m.Forward(x)
+		loss, dout := SoftmaxCrossEntropy(out, labels[i])
+		total += loss
+		m.Backward(dout)
+	}
+	inv := 1 / float64(len(xs))
+	return total * inv, m.GradVector(inv)
+}
+
+// Accuracy returns top-1 accuracy of the model over the given examples.
+func Accuracy(m *Sequential, xs [][]float64, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if Argmax(m.Forward(x)) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}

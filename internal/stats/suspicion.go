@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Suspicion accumulates per-sender filtering statistics: every time a robust
+// aggregation rule excludes a sender's vector, that sender's counter grows.
+// Over a run, actually-Byzantine senders are excluded far more often than
+// honest ones, giving operators an accountability signal the paper's
+// protocol itself does not need but any production deployment wants.
+//
+// Suspicion is safe for concurrent use (live servers update it from their
+// own goroutines).
+type Suspicion struct {
+	mu       sync.Mutex
+	excluded map[string]int
+	seen     map[string]int
+}
+
+// NewSuspicion returns an empty tracker.
+func NewSuspicion() *Suspicion {
+	return &Suspicion{
+		excluded: make(map[string]int),
+		seen:     make(map[string]int),
+	}
+}
+
+// Observe records one aggregation round: all participating senders, and the
+// subset of them whose vectors the rule kept.
+func (s *Suspicion) Observe(participants []string, kept []string) {
+	keptSet := make(map[string]bool, len(kept))
+	for _, k := range kept {
+		keptSet[k] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range participants {
+		s.seen[p]++
+		if !keptSet[p] {
+			s.excluded[p]++
+		}
+	}
+}
+
+// Rate returns the exclusion rate of a sender in [0, 1] (0 for unknown
+// senders).
+func (s *Suspicion) Rate(sender string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := s.seen[sender]
+	if seen == 0 {
+		return 0
+	}
+	return float64(s.excluded[sender]) / float64(seen)
+}
+
+// SuspicionRank is one row of the ranking.
+type SuspicionRank struct {
+	// Sender is the node ID.
+	Sender string
+	// Rate is its exclusion rate in [0, 1].
+	Rate float64
+	// Rounds is how many aggregation rounds it participated in.
+	Rounds int
+}
+
+// Ranking returns all senders ordered by descending exclusion rate.
+func (s *Suspicion) Ranking() []SuspicionRank {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SuspicionRank, 0, len(s.seen))
+	for sender, seen := range s.seen {
+		out = append(out, SuspicionRank{
+			Sender: sender,
+			Rate:   float64(s.excluded[sender]) / float64(seen),
+			Rounds: seen,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Rate != out[b].Rate {
+			return out[a].Rate > out[b].Rate
+		}
+		return out[a].Sender < out[b].Sender
+	})
+	return out
+}
+
+// Format renders the ranking as a text table.
+func (s *Suspicion) Format() string {
+	var b strings.Builder
+	b.WriteString("# Suspicion ranking (exclusion rate by robust aggregation)\n")
+	fmt.Fprintf(&b, "%-10s %-10s %-8s\n", "sender", "rate", "rounds")
+	for _, r := range s.Ranking() {
+		fmt.Fprintf(&b, "%-10s %-10.3f %-8d\n", r.Sender, r.Rate, r.Rounds)
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSuspicionRates(t *testing.T) {
+	s := NewSuspicion()
+	// byz excluded 3/3 rounds, honest 1/3.
+	s.Observe([]string{"byz", "honest"}, []string{"honest"})
+	s.Observe([]string{"byz", "honest"}, []string{"honest"})
+	s.Observe([]string{"byz", "honest"}, []string{"byz"})
+	if r := s.Rate("byz"); r < 0.6 || r > 0.7 {
+		t.Fatalf("byz rate %v, want 2/3", r)
+	}
+	if r := s.Rate("honest"); r < 0.3 || r > 0.4 {
+		t.Fatalf("honest rate %v, want 1/3", r)
+	}
+	if s.Rate("unknown") != 0 {
+		t.Fatal("unknown sender should have rate 0")
+	}
+}
+
+func TestSuspicionRankingOrder(t *testing.T) {
+	s := NewSuspicion()
+	s.Observe([]string{"a", "b", "c"}, []string{"a", "b"})
+	s.Observe([]string{"a", "b", "c"}, []string{"a"})
+	ranks := s.Ranking()
+	if len(ranks) != 3 {
+		t.Fatalf("got %d rows", len(ranks))
+	}
+	if ranks[0].Sender != "c" || ranks[1].Sender != "b" || ranks[2].Sender != "a" {
+		t.Fatalf("ranking order wrong: %+v", ranks)
+	}
+	if ranks[0].Rounds != 2 {
+		t.Fatalf("rounds = %d", ranks[0].Rounds)
+	}
+	if !strings.Contains(s.Format(), "Suspicion ranking") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestSuspicionConcurrentObservers(t *testing.T) {
+	s := NewSuspicion()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Observe([]string{"x", "y"}, []string{"y"})
+			}
+		}()
+	}
+	wg.Wait()
+	if r := s.Rate("x"); r != 1 {
+		t.Fatalf("x rate %v", r)
+	}
+	ranks := s.Ranking()
+	if ranks[0].Rounds != 800 {
+		t.Fatalf("rounds = %d, want 800", ranks[0].Rounds)
+	}
+}

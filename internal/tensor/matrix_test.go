@@ -1,0 +1,114 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("bad matrix shape %dx%d len=%d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At/Set mismatch: %v", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 7 {
+		t.Fatalf("Row(1) = %v", row)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	// [1 2; 3 4] · [5, 6] = [17, 39]
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float64{1, 2, 3, 4})
+	dst := make([]float64, 2)
+	m.MatVec(dst, []float64{5, 6})
+	if dst[0] != 17 || dst[1] != 39 {
+		t.Fatalf("MatVec = %v, want [17 39]", dst)
+	}
+}
+
+func TestMatVecT(t *testing.T) {
+	// [1 2; 3 4]ᵀ · [5, 6] = [1·5+3·6, 2·5+4·6] = [23, 34]
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float64{1, 2, 3, 4})
+	dst := make([]float64, 2)
+	m.MatVecT(dst, []float64{5, 6})
+	if dst[0] != 23 || dst[1] != 34 {
+		t.Fatalf("MatVecT = %v, want [23 34]", dst)
+	}
+}
+
+// MatVecT must agree with an explicit transpose for random matrices.
+func TestMatVecTMatchesTranspose(t *testing.T) {
+	rng := NewRNG(23)
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewMatrix(rows, cols)
+		rng.NormVec(m.Data, 0, 1)
+		x := rng.NormVec(make([]float64, rows), 0, 1)
+
+		got := make([]float64, cols)
+		m.MatVecT(got, x)
+
+		// explicit transpose
+		tr := NewMatrix(cols, rows)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				tr.Set(j, i, m.At(i, j))
+			}
+		}
+		want := make([]float64, cols)
+		tr.MatVec(want, x)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-10 {
+				t.Fatalf("trial %d: MatVecT[%d] = %v, transpose gives %v",
+					trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuter(2, []float64{1, 2}, []float64{3, 4})
+	// 2·[1;2]·[3 4] = [6 8; 12 16]
+	want := []float64{6, 8, 12, 16}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Fatalf("AddOuter = %v, want %v", m.Data, want)
+		}
+	}
+	// accumulation, not assignment
+	m.AddOuter(1, []float64{1, 0}, []float64{1, 0})
+	if m.At(0, 0) != 7 {
+		t.Fatalf("AddOuter does not accumulate: %v", m.At(0, 0))
+	}
+}
+
+func TestMatrixShapePanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	cases := []func(){
+		func() { m.MatVec(make([]float64, 2), make([]float64, 2)) },
+		func() { m.MatVecT(make([]float64, 2), make([]float64, 2)) },
+		func() { m.AddOuter(1, make([]float64, 3), make([]float64, 3)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected shape panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

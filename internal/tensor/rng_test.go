@@ -1,0 +1,121 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/64 identical draws across seeds; generator is degenerate", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(9)
+	child := parent.Split()
+	// The child must not mirror the parent stream.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/64 identical draws between parent and child", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10_000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", x)
+		}
+	}
+}
+
+func TestIntnRangeAndCoverage(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10_000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200_000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestNormVec(t *testing.T) {
+	r := NewRNG(13)
+	v := r.NormVec(make([]float64, 50_000), 2, 0.5)
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	mean := sum / float64(len(v))
+	if math.Abs(mean-2) > 0.02 {
+		t.Fatalf("NormVec mean = %v, want ≈2", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, i := range p {
+		if i < 0 || i >= 100 || seen[i] {
+			t.Fatalf("Perm invalid at %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(19)
+	for i := 0; i < 1000; i++ {
+		if x := r.LogNormal(0, 1); x <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", x)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package trace provides lightweight structured event recording for live
+// deployments: per-node, per-step protocol events (phase completions, quorum
+// membership, aggregation results) in a bounded ring buffer that can be
+// dumped for post-mortem analysis. It is the observability layer a
+// production release needs and the paper's prototype lacked.
+//
+// Recording is optional and cheap: a nil *Recorder is a valid no-op target,
+// so instrumented code never branches on "is tracing enabled".
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventKind classifies protocol events.
+type EventKind uint8
+
+// Event kinds, one per instrumented protocol action.
+const (
+	// EventStepStart marks a node entering a learning step.
+	EventStepStart EventKind = iota + 1
+	// EventQuorumComplete marks a quorum being assembled.
+	EventQuorumComplete
+	// EventAggregate marks an aggregation-rule application.
+	EventAggregate
+	// EventUpdate marks a local parameter update.
+	EventUpdate
+	// EventBroadcast marks an outbound broadcast.
+	EventBroadcast
+	// EventError marks a node-level failure.
+	EventError
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventStepStart:
+		return "step-start"
+	case EventQuorumComplete:
+		return "quorum-complete"
+	case EventAggregate:
+		return "aggregate"
+	case EventUpdate:
+		return "update"
+	case EventBroadcast:
+		return "broadcast"
+	case EventError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	// When is the wall-clock time the event was recorded.
+	When time.Time
+	// Node is the recording node's ID.
+	Node string
+	// Step is the learning step the event belongs to.
+	Step int
+	// Kind classifies the event.
+	Kind EventKind
+	// Detail is free-form context ("q̄=13 gradients from [...]").
+	Detail string
+}
+
+// Recorder collects events into a bounded ring buffer. It is safe for
+// concurrent use. A nil Recorder discards all events.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	now   func() time.Time
+	total int
+}
+
+// NewRecorder builds a recorder keeping the most recent capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Recorder{buf: make([]Event, capacity), now: time.Now}
+}
+
+// Record appends an event; on a nil recorder it is a no-op.
+func (r *Recorder) Record(node string, step int, kind EventKind, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = Event{When: r.now(), Node: node, Step: step, Kind: kind, Detail: detail}
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.total++
+}
+
+// Recordf is Record with fmt formatting of the detail.
+func (r *Recorder) Recordf(node string, step int, kind EventKind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Record(node, step, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns the retained events in recording order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns how many events were recorded over the recorder's lifetime
+// (including ones evicted from the ring).
+func (r *Recorder) Total() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Filter returns the retained events matching the node (empty = any) and
+// kind (0 = any).
+func (r *Recorder) Filter(node string, kind EventKind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if node != "" && e.Node != node {
+			continue
+		}
+		if kind != 0 && e.Kind != kind {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Dump renders the retained events as text, one per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		fmt.Fprintf(&b, "%s %-6s step=%-5d %-16s %s\n",
+			e.When.Format("15:04:05.000"), e.Node, e.Step, e.Kind, e.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Record("ps0", 0, EventUpdate, "x") // must not panic
+	r.Recordf("ps0", 0, EventUpdate, "%d", 1)
+	if r.Events() != nil || r.Total() != 0 {
+		t.Fatal("nil recorder returned data")
+	}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record("ps0", 3, EventQuorumComplete, "q=5")
+	r.Recordf("wrk1", 3, EventBroadcast, "to %d servers", 6)
+	ev := r.Events()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	if ev[0].Node != "ps0" || ev[0].Kind != EventQuorumComplete || ev[0].Step != 3 {
+		t.Fatalf("event 0 wrong: %+v", ev[0])
+	}
+	if ev[1].Detail != "to 6 servers" {
+		t.Fatalf("Recordf detail wrong: %q", ev[1].Detail)
+	}
+	if r.Total() != 2 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record("n", i, EventUpdate, "")
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d, want 4", len(ev))
+	}
+	// Oldest retained is step 6, newest step 9, in order.
+	for i, e := range ev {
+		if e.Step != 6+i {
+			t.Fatalf("eviction order wrong: %+v", ev)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record("ps0", 0, EventUpdate, "")
+	r.Record("ps1", 0, EventUpdate, "")
+	r.Record("ps0", 1, EventError, "boom")
+	if n := len(r.Filter("ps0", 0)); n != 2 {
+		t.Fatalf("node filter: %d", n)
+	}
+	if n := len(r.Filter("", EventError)); n != 1 {
+		t.Fatalf("kind filter: %d", n)
+	}
+	if n := len(r.Filter("ps1", EventError)); n != 0 {
+		t.Fatalf("combined filter: %d", n)
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := NewRecorder(8)
+	r.now = func() time.Time { return time.Date(2026, 6, 13, 10, 30, 0, 0, time.UTC) }
+	r.Record("ps0", 7, EventAggregate, "multi-krum kept 8/13")
+	out := r.Dump()
+	for _, want := range []string{"ps0", "step=7", "aggregate", "kept 8/13", "10:30:00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record("n", i, EventUpdate, "")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("total = %d, want 800", r.Total())
+	}
+	if len(r.Events()) != 128 {
+		t.Fatalf("retained %d, want 128 (ring capacity)", len(r.Events()))
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EventStepStart, EventQuorumComplete, EventAggregate,
+		EventUpdate, EventBroadcast, EventError}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("bad kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if EventKind(99).String() != "unknown" {
+		t.Fatal("unknown kind not handled")
+	}
+}

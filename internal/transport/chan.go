@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Endpoint is one node's handle on a network: asynchronous best-effort Send
+// and blocking Recv with timeout.
+type Endpoint interface {
+	// ID returns the node's identifier on the network.
+	ID() string
+	// Send delivers m to the named node asynchronously. It never blocks on
+	// the receiver. An error indicates the destination is unknown or the
+	// endpoint is closed; a Byzantine-tolerant caller treats Send errors as
+	// best-effort losses.
+	Send(to string, m Message) error
+	// Recv returns the next inbound message, blocking up to timeout
+	// (negative blocks indefinitely). false means timeout or closure.
+	Recv(timeout time.Duration) (Message, bool)
+	// Close releases the endpoint. Blocked Recv calls return false.
+	Close() error
+}
+
+// DelayFunc returns the artificial delivery delay for a message from one
+// node to another. Used by tests and examples to inject asynchrony into the
+// in-process network. A nil DelayFunc means immediate delivery.
+type DelayFunc func(from, to string) time.Duration
+
+// ChanNetwork is an in-process network connecting named endpoints through
+// unbounded mailboxes. Delivery order between two nodes is FIFO when no
+// delay function is installed; with delays, messages may be reordered —
+// exactly the asynchrony the protocol must tolerate.
+type ChanNetwork struct {
+	mu     sync.Mutex
+	nodes  map[string]*chanEndpoint
+	delay  DelayFunc
+	timers sync.WaitGroup
+	closed bool
+}
+
+// NewChanNetwork builds an empty network. delay may be nil.
+func NewChanNetwork(delay DelayFunc) *ChanNetwork {
+	return &ChanNetwork{nodes: make(map[string]*chanEndpoint), delay: delay}
+}
+
+// Register creates the endpoint for the given node ID.
+func (n *ChanNetwork) Register(id string) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("transport: network closed")
+	}
+	if _, ok := n.nodes[id]; ok {
+		return nil, fmt.Errorf("transport: node %q already registered", id)
+	}
+	ep := &chanEndpoint{id: id, net: n, box: NewMailbox()}
+	n.nodes[id] = ep
+	return ep, nil
+}
+
+// Close shuts down every endpoint and waits for in-flight delayed deliveries
+// to resolve.
+func (n *ChanNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	nodes := make([]*chanEndpoint, 0, len(n.nodes))
+	for _, ep := range n.nodes {
+		nodes = append(nodes, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range nodes {
+		ep.box.Close()
+	}
+	n.timers.Wait()
+	return nil
+}
+
+func (n *ChanNetwork) deliver(from, to string, m Message) error {
+	n.mu.Lock()
+	dst, ok := n.nodes[to]
+	closed := n.closed
+	delay := n.delay
+	n.mu.Unlock()
+	if closed {
+		return fmt.Errorf("transport: network closed")
+	}
+	if !ok {
+		return fmt.Errorf("transport: unknown destination %q", to)
+	}
+	if delay == nil {
+		dst.box.Put(m)
+		return nil
+	}
+	d := delay(from, to)
+	if d <= 0 {
+		dst.box.Put(m)
+		return nil
+	}
+	n.timers.Add(1)
+	time.AfterFunc(d, func() {
+		defer n.timers.Done()
+		dst.box.Put(m)
+	})
+	return nil
+}
+
+type chanEndpoint struct {
+	id  string
+	net *ChanNetwork
+	box *Mailbox
+}
+
+var _ Endpoint = (*chanEndpoint)(nil)
+
+func (e *chanEndpoint) ID() string { return e.id }
+
+func (e *chanEndpoint) Send(to string, m Message) error {
+	m.From = e.id
+	return e.net.deliver(e.id, to, m)
+}
+
+func (e *chanEndpoint) Recv(timeout time.Duration) (Message, bool) {
+	return e.box.Recv(timeout)
+}
+
+func (e *chanEndpoint) Close() error {
+	e.box.Close()
+	return nil
+}

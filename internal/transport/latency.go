@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// LatencyModel samples per-message network delays. It serves two purposes:
+//
+//   - it drives the virtual clock of the deterministic experiment simulator
+//     (the time axis of Figures 3b/3d is virtual time accumulated from these
+//     samples plus modelled compute costs);
+//   - converted with DelayFunc, it injects real delays into the in-process
+//     live network for asynchrony/failure-injection tests.
+//
+// Delays are heavy-tailed (log-normal jitter over a base propagation delay
+// plus a bandwidth term), matching the "no bound on communication delays"
+// model: any single message can be arbitrarily late, and the protocol must
+// make progress from quorums alone.
+type LatencyModel struct {
+	// Base is the per-message propagation delay floor, in seconds.
+	Base float64
+	// JitterSigma is the σ of the log-normal multiplicative jitter. 0 means
+	// deterministic latency.
+	JitterSigma float64
+	// BytesPerSecond is the link bandwidth used for the size-dependent term.
+	// 0 disables the term.
+	BytesPerSecond float64
+	// NodeSlowdown multiplies delays for messages touching the named nodes
+	// (either direction). Models stragglers and congested links.
+	NodeSlowdown map[string]float64
+
+	mu  sync.Mutex
+	rng *tensor.RNG
+}
+
+// NewLatencyModel builds a model with the given seed. A 10 Gbps-class
+// cluster like the paper's testbed corresponds to roughly
+// Base=100e-6, JitterSigma=0.3, BytesPerSecond=1.25e9.
+func NewLatencyModel(base, jitterSigma, bytesPerSecond float64, seed uint64) *LatencyModel {
+	return &LatencyModel{
+		Base:           base,
+		JitterSigma:    jitterSigma,
+		BytesPerSecond: bytesPerSecond,
+		rng:            tensor.NewRNG(seed),
+	}
+}
+
+// Sample returns one delay in seconds for a message of the given byte size.
+func (l *LatencyModel) Sample(from, to string, bytes int) float64 {
+	l.mu.Lock()
+	jitter := 1.0
+	if l.JitterSigma > 0 {
+		jitter = l.rng.LogNormal(0, l.JitterSigma)
+	}
+	l.mu.Unlock()
+
+	d := l.Base * jitter
+	if l.BytesPerSecond > 0 {
+		d += float64(bytes) / l.BytesPerSecond
+	}
+	if m, ok := l.NodeSlowdown[from]; ok {
+		d *= m
+	}
+	if m, ok := l.NodeSlowdown[to]; ok {
+		d *= m
+	}
+	return d
+}
+
+// DelayFunc adapts the model for injection into a ChanNetwork, scaling the
+// virtual seconds by scale into wall-clock time (tests use small scales so a
+// "100 µs" virtual delay does not slow the suite).
+func (l *LatencyModel) DelayFunc(bytes int, scale float64) DelayFunc {
+	return func(from, to string) time.Duration {
+		return time.Duration(l.Sample(from, to, bytes) * scale * float64(time.Second))
+	}
+}
+
+// QuorumArrival computes, for a set of message arrival times (seconds), the
+// indices of the q earliest arrivals and the time the q-th one lands — the
+// moment a receiver's quorum completes and it may proceed. Arrivals that are
+// +Inf (silent senders) can never be selected; if fewer than q finite
+// arrivals exist the returned time is +Inf, signalling a liveness violation
+// (the deployment broke the q ≤ n−f bound).
+func QuorumArrival(arrivals []float64, q int) (indices []int, when float64) {
+	type at struct {
+		idx int
+		t   float64
+	}
+	all := make([]at, 0, len(arrivals))
+	for i, t := range arrivals {
+		all = append(all, at{idx: i, t: t})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].t < all[b].t })
+	if q > len(all) {
+		return nil, math.Inf(1)
+	}
+	indices = make([]int, 0, q)
+	for _, a := range all[:q] {
+		if math.IsInf(a.t, 1) {
+			return nil, math.Inf(1)
+		}
+		indices = append(indices, a.idx)
+	}
+	return indices, all[q-1].t
+}
+
+// VectorBytes estimates the wire size of a d-dimensional float64 vector plus
+// framing overhead, used for bandwidth-dependent latency terms.
+func VectorBytes(d int) int { return 8*d + 64 }

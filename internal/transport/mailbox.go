@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// Mailbox is an unbounded, closable message queue. Senders never block — the
+// model's network is asynchronous and reliable, so the transport must accept
+// any number of in-flight messages — while receivers block with an optional
+// timeout.
+type Mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+// NewMailbox returns an empty open mailbox.
+func NewMailbox() *Mailbox {
+	m := &Mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Put enqueues a message. Messages put after Close are dropped (the node has
+// left the computation).
+func (m *Mailbox) Put(msg Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+}
+
+// Recv dequeues the oldest message, blocking until one is available, the
+// timeout elapses, or the mailbox is closed. A negative timeout blocks
+// indefinitely. The boolean is false on timeout or closure.
+func (m *Mailbox) Recv(timeout time.Duration) (Message, bool) {
+	var deadline time.Time
+	if timeout >= 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		if timeout < 0 {
+			m.cond.Wait()
+			continue
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return Message{}, false
+		}
+		timer := time.AfterFunc(remaining, func() {
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		m.cond.Wait()
+		timer.Stop()
+	}
+	if len(m.queue) == 0 {
+		return Message{}, false // closed and drained
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+// Len returns the number of queued messages.
+func (m *Mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Close marks the mailbox closed and wakes all blocked receivers. Closing
+// twice is a no-op.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.cond.Broadcast()
+}

@@ -1,0 +1,62 @@
+// Package transport provides the communication substrate of the system:
+//
+//   - Message, the single wire format exchanged by all nodes;
+//   - ChanNetwork, an in-process asynchronous network with unbounded
+//     mailboxes and optional injected delays (used by the live cluster
+//     runtime and the integration tests);
+//   - TCPNode, a real TCP transport with length-delimited gob frames (the
+//     repository's stand-in for the paper's gRPC/protobuf stack);
+//   - Collector, the "first q messages for step t, late ones discarded"
+//     quorum-gathering primitive at the heart of GuanYu's bulk-synchronous
+//     rounds over an asynchronous network;
+//   - LatencyModel, a seeded heavy-tailed latency sampler that drives both
+//     delay injection in the live runtime and the virtual clock of the
+//     deterministic experiment simulator.
+package transport
+
+import "repro/internal/tensor"
+
+// Kind discriminates protocol messages.
+type Kind uint8
+
+// Message kinds, one per protocol phase.
+const (
+	// KindParams is a parameter vector sent from a server to a worker
+	// (phase 1).
+	KindParams Kind = iota + 1
+	// KindGradient is a gradient estimate sent from a worker to a server
+	// (phase 2).
+	KindGradient
+	// KindPeerParams is an updated parameter vector exchanged between
+	// servers (phase 3, the contraction round).
+	KindPeerParams
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindParams:
+		return "params"
+	case KindGradient:
+		return "gradient"
+	case KindPeerParams:
+		return "peer-params"
+	default:
+		return "unknown"
+	}
+}
+
+// Message is the single unit of communication. Every phase of the protocol
+// ships one vector tagged with its sender, step and kind; the tag is what
+// lets receivers run bulk-synchronous training over an asynchronous network
+// (late messages are identified and discarded, future ones buffered).
+type Message struct {
+	// From is the sender's node ID.
+	From string `json:"from"`
+	// Kind is the protocol phase this message belongs to.
+	Kind Kind `json:"kind"`
+	// Step is the learning step t the payload belongs to.
+	Step int `json:"step"`
+	// Vec is the payload (a parameter vector or a gradient).
+	Vec tensor.Vector `json:"vec"`
+}

@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+)
+
+// Collector implements the quorum-gathering discipline of the protocol
+// (Figure 2 of the paper): for a given (kind, step), return the first q
+// messages received — at most one per sender — discarding messages from
+// past steps and buffering messages from future steps or other kinds.
+//
+// Deduplication per sender is a safety requirement, not an optimisation: a
+// Byzantine node could otherwise fill an entire quorum with its own copies
+// and fully control the aggregation input.
+type Collector struct {
+	ep  Endpoint
+	buf map[collectorKey]map[string][]float64 // (kind, step) → sender → payload
+
+	// Validator, when non-nil, vets every inbound message before it can
+	// count toward any quorum. Messages failing validation are dropped —
+	// this is where honest nodes discard malformed Byzantine payloads
+	// (wrong dimension, NaN/Inf coordinates) so they behave like silence
+	// rather than poisoning downstream arithmetic.
+	Validator func(Message) bool
+}
+
+type collectorKey struct {
+	kind Kind
+	step int
+}
+
+// NewCollector wraps an endpoint.
+func NewCollector(ep Endpoint) *Collector {
+	return &Collector{ep: ep, buf: make(map[collectorKey]map[string][]float64)}
+}
+
+// Collect blocks until q distinct-sender messages of the given kind and step
+// have been received (counting buffered ones), or the timeout elapses. It
+// returns the payload of each contributing sender. Messages for other
+// (kind, step) pairs observed while waiting are buffered if current-or-
+// future, dropped if stale.
+//
+// timeout < 0 blocks indefinitely — the faithful asynchronous-model setting,
+// where liveness comes from the quorum bound q ≤ n−f rather than from
+// timing. Tests use finite timeouts to convert protocol bugs into failures
+// rather than hangs.
+func (c *Collector) Collect(kind Kind, step, q int, timeout time.Duration) ([]Message, error) {
+	key := collectorKey{kind: kind, step: step}
+	var deadline time.Time
+	if timeout >= 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for len(c.buf[key]) < q {
+		wait := time.Duration(-1)
+		if timeout >= 0 {
+			wait = time.Until(deadline)
+			if wait <= 0 {
+				return nil, fmt.Errorf("transport: quorum timeout: have %d/%d %s messages for step %d",
+					len(c.buf[key]), q, kind, step)
+			}
+		}
+		m, ok := c.ep.Recv(wait)
+		if !ok {
+			if timeout >= 0 && time.Now().After(deadline) {
+				return nil, fmt.Errorf("transport: quorum timeout: have %d/%d %s messages for step %d",
+					len(c.buf[key]), q, kind, step)
+			}
+			return nil, fmt.Errorf("transport: endpoint closed while collecting %s step %d", kind, step)
+		}
+		c.store(m, step)
+	}
+	senders := c.buf[key]
+	out := make([]Message, 0, q)
+	for from, vec := range senders {
+		out = append(out, Message{From: from, Kind: kind, Step: step, Vec: vec})
+		if len(out) == q {
+			break
+		}
+	}
+	// The round is decided; drop the remainder for this key (late messages
+	// for an already-completed quorum are discarded per the protocol).
+	delete(c.buf, key)
+	return out, nil
+}
+
+// Advance drops all buffered messages for steps before the given step, of
+// any kind. Nodes call it when entering a new step so stale traffic cannot
+// accumulate without bound.
+func (c *Collector) Advance(step int) {
+	for key := range c.buf {
+		if key.step < step {
+			delete(c.buf, key)
+		}
+	}
+}
+
+// store buffers m unless it is stale relative to the step being collected.
+func (c *Collector) store(m Message, currentStep int) {
+	if m.Step < currentStep {
+		return // late message from a completed round: discard
+	}
+	if c.Validator != nil && !c.Validator(m) {
+		return // malformed payload: treat the sender as silent this round
+	}
+	key := collectorKey{kind: m.Kind, step: m.Step}
+	senders, ok := c.buf[key]
+	if !ok {
+		senders = make(map[string][]float64)
+		c.buf[key] = senders
+	}
+	if _, dup := senders[m.From]; dup {
+		return // only the first message per sender counts toward the quorum
+	}
+	senders[m.From] = m.Vec
+}
+
+// Buffered returns how many distinct senders are buffered for (kind, step).
+// Exposed for tests and monitoring.
+func (c *Collector) Buffered(kind Kind, step int) int {
+	return len(c.buf[collectorKey{kind: kind, step: step}])
+}

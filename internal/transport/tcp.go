@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPNode is a network endpoint backed by real TCP sockets. Messages are
+// gob-encoded frames on long-lived connections — the repository's equivalent
+// of the paper's gRPC/protobuf channels. Each node listens on its own
+// address and lazily dials peers on first send.
+//
+// TCPNode satisfies Endpoint, so the live cluster runtime runs unmodified on
+// top of either the in-process network or real sockets.
+type TCPNode struct {
+	id    string
+	ln    net.Listener
+	peers map[string]string // peer ID → dial address
+
+	mu       sync.Mutex
+	conns    map[string]*tcpConn
+	accepted map[net.Conn]struct{}
+	box      *Mailbox
+
+	closed  chan struct{}
+	readers sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPNode)(nil)
+
+type tcpConn struct {
+	mu  sync.Mutex // serialises encoder writes
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// ListenTCP starts a node listening on addr. peers maps every other node's
+// ID to its dial address; the map is copied.
+func ListenTCP(id, addr string, peers map[string]string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		id:       id,
+		ln:       ln,
+		peers:    make(map[string]string, len(peers)),
+		conns:    make(map[string]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+		box:      NewMailbox(),
+		closed:   make(chan struct{}),
+	}
+	for k, v := range peers {
+		n.peers[k] = v
+	}
+	n.readers.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's bound listen address (useful with ":0").
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// AddPeer registers (or updates) a peer's dial address after the node has
+// started listening — the bootstrap pattern for ephemeral-port deployments
+// where the address book only exists once every listener is up.
+func (n *TCPNode) AddPeer(id, addr string) error {
+	if id == n.id {
+		return fmt.Errorf("transport: node %s cannot peer with itself", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = addr
+	return nil
+}
+
+// ID implements Endpoint.
+func (n *TCPNode) ID() string { return n.id }
+
+// Send implements Endpoint: it gob-encodes m on a cached connection to the
+// peer, dialing on first use.
+func (n *TCPNode) Send(to string, m Message) error {
+	m.From = n.id
+	conn, err := n.conn(to)
+	if err != nil {
+		return err
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if err := conn.enc.Encode(&m); err != nil {
+		// Drop the broken connection so the next Send redials.
+		n.dropConn(to, conn)
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Recv implements Endpoint.
+func (n *TCPNode) Recv(timeout time.Duration) (Message, bool) {
+	return n.box.Recv(timeout)
+}
+
+// Close implements Endpoint: it stops the listener, closes all connections,
+// and waits for reader goroutines to exit.
+func (n *TCPNode) Close() error {
+	select {
+	case <-n.closed:
+		return nil
+	default:
+	}
+	close(n.closed)
+	err := n.ln.Close()
+	n.mu.Lock()
+	for _, c := range n.conns {
+		_ = c.c.Close()
+	}
+	n.conns = make(map[string]*tcpConn)
+	// Accepted (inbound) connections must be closed too: their readLoops
+	// block in gob Decode and would otherwise keep readers.Wait below —
+	// and hence two nodes closing in sequence — deadlocked.
+	for c := range n.accepted {
+		_ = c.Close()
+	}
+	n.accepted = make(map[net.Conn]struct{})
+	n.mu.Unlock()
+	n.box.Close()
+	n.readers.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+func (n *TCPNode) conn(to string) (*tcpConn, error) {
+	n.mu.Lock()
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := n.peers[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %q", to)
+	}
+
+	// Dial outside the lock (concurrent sends to other peers must not wait
+	// on this peer's connection setup), retrying with backoff: peers in a
+	// fresh deployment come up in arbitrary order, so the first broadcast
+	// of a round regularly races the receivers' listeners. Retrying here is
+	// what a production RPC stack (the paper used gRPC) does transparently.
+	var (
+		raw     net.Conn
+		err     error
+		backoff = 50 * time.Millisecond
+	)
+	for attempt := 0; attempt < 8; attempt++ {
+		raw, err = net.DialTimeout("tcp", addr, 5*time.Second)
+		if err == nil {
+			break
+		}
+		select {
+		case <-n.closed:
+			return nil, fmt.Errorf("transport: node closed while dialing %s", to)
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.conns[to]; ok {
+		// A concurrent Send won the race; keep its connection.
+		_ = raw.Close()
+		return c, nil
+	}
+	c := &tcpConn{c: raw, enc: gob.NewEncoder(raw)}
+	n.conns[to] = c
+	return c, nil
+}
+
+func (n *TCPNode) dropConn(to string, c *tcpConn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cur, ok := n.conns[to]; ok && cur == c {
+		_ = c.c.Close()
+		delete(n.conns, to)
+	}
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.readers.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		n.accepted[conn] = struct{}{}
+		n.mu.Unlock()
+		n.readers.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.readers.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return // peer closed or corrupt stream
+		}
+		select {
+		case <-n.closed:
+			return
+		default:
+		}
+		n.box.Put(m)
+	}
+}
