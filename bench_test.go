@@ -2,28 +2,34 @@
 // paper's evaluation (see the experiment index in DESIGN.md), plus
 // micro-benchmarks of the kernels on the paper's critical path.
 //
+// The macro benchmarks drive the public guanyu façade — the same API the
+// commands and examples use. The kernel micro-benchmarks at the bottom
+// reach into internal/ deliberately: they measure building blocks the
+// façade does not (and should not) re-export.
+//
 // The macro benchmarks report domain metrics via b.ReportMetric (final
 // accuracy, overhead percentages, drift ratios) so `go test -bench` output
 // doubles as the measured column of EXPERIMENTS.md.
 package repro_test
 
 import (
+	"context"
 	"testing"
 
+	"repro/guanyu"
+	pgar "repro/guanyu/gar"
+
 	"repro/internal/attack"
-	"repro/internal/core"
-	"repro/internal/experiments"
-	"repro/internal/gar"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
 // benchScale keeps each macro-benchmark iteration around a second on a
 // single CPU. Use cmd/guanyu-bench -full for paper-leaning run lengths.
-var benchScale = experiments.Scale{Steps: 30, Batch: 8, SmallBatch: 4, Examples: 400, Seed: 42}
+var benchScale = guanyu.ExperimentScale{Steps: 30, Batch: 8, SmallBatch: 4, Examples: 400, Seed: 42}
 
 // ---------------------------------------------------------------------------
-// Macro benchmarks: one per experiment id.
+// Macro benchmarks: one per experiment id, through the public façade.
 // ---------------------------------------------------------------------------
 
 // BenchmarkTable1ModelBuild regenerates Table 1 (CNN architecture).
@@ -41,7 +47,7 @@ func BenchmarkTable1ModelBuild(b *testing.B) {
 func BenchmarkFig3aConvergencePerUpdate(b *testing.B) {
 	var final float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig3(benchScale)
+		r, err := guanyu.Fig3(benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +62,7 @@ func BenchmarkFig3aConvergencePerUpdate(b *testing.B) {
 func BenchmarkFig3bConvergencePerTime(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig3(benchScale)
+		r, err := guanyu.Fig3(benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +79,7 @@ func BenchmarkFig3bConvergencePerTime(b *testing.B) {
 func BenchmarkFig4ByzantineImpact(b *testing.B) {
 	var gap float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig4(benchScale)
+		r, err := guanyu.Fig4(benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +93,7 @@ func BenchmarkFig4ByzantineImpact(b *testing.B) {
 func BenchmarkTable2Alignment(b *testing.B) {
 	var mean float64
 	for i := 0; i < b.N; i++ {
-		recs, err := experiments.Table2(benchScale)
+		recs, err := guanyu.Table2(benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +113,7 @@ func BenchmarkTable2Alignment(b *testing.B) {
 func BenchmarkOverheadBreakdown(b *testing.B) {
 	var runtimePct, byzPct float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Overhead(benchScale)
+		r, err := guanyu.Overhead(benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +128,7 @@ func BenchmarkOverheadBreakdown(b *testing.B) {
 func BenchmarkContraction(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Contraction(benchScale)
+		r, err := guanyu.Contraction(benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +142,7 @@ func BenchmarkContraction(b *testing.B) {
 func BenchmarkQuorumSweep(b *testing.B) {
 	var factor float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.QuorumSweep(benchScale)
+		rows, err := guanyu.QuorumSweep(benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +156,7 @@ func BenchmarkQuorumSweep(b *testing.B) {
 func BenchmarkGARAblation(b *testing.B) {
 	var margin float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.GARAblation(benchScale)
+		rows, err := guanyu.GARAblation(benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -169,7 +175,7 @@ func BenchmarkGARAblation(b *testing.B) {
 func BenchmarkAsyncSweep(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AsyncSweep(benchScale)
+		rows, err := guanyu.AsyncSweep(benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,35 +185,40 @@ func BenchmarkAsyncSweep(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// Micro benchmarks: the kernels on the protocol's critical path, at the
-// paper's aggregation fan-in (q̄ = 13 gradients) and the tiny CNN dimension.
+// Micro benchmarks: the public GAR contract at the paper's aggregation
+// fan-in (q̄ = 13 gradients) and the tiny CNN dimension. Mean and
+// coordinate-median run on the zero-alloc dst path; guanyu/gar's own
+// benchmarks assert the allocation count.
 // ---------------------------------------------------------------------------
 
-func benchVectors(n, d int) []tensor.Vector {
+func benchVectors(n, d int) [][]float64 {
 	rng := tensor.NewRNG(7)
-	vs := make([]tensor.Vector, n)
+	vs := make([][]float64, n)
 	for i := range vs {
-		vs[i] = rng.NormVec(make(tensor.Vector, d), 0, 1)
+		vs[i] = rng.NormVec(make([]float64, d), 0, 1)
 	}
 	return vs
 }
 
-func benchRule(b *testing.B, r gar.Rule, n, d int) {
+func benchRule(b *testing.B, name string, f, n, d int) {
 	b.Helper()
+	r := pgar.MustNew(name, pgar.Params{F: f, Inputs: n})
 	vs := benchVectors(n, d)
+	dst := make([]float64, d)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.Aggregate(vs); err != nil {
+		if _, err := r.Aggregate(ctx, dst, vs); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func BenchmarkGARMean13x2726(b *testing.B)        { benchRule(b, gar.Mean{}, 13, 2726) }
-func BenchmarkGARMedian13x2726(b *testing.B)      { benchRule(b, gar.Median{}, 13, 2726) }
-func BenchmarkGARMultiKrum13x2726(b *testing.B)   { benchRule(b, gar.MultiKrum{F: 5}, 13, 2726) }
-func BenchmarkGARTrimmedMean13x2726(b *testing.B) { benchRule(b, gar.TrimmedMean{F: 5}, 13, 2726) }
-func BenchmarkGARBulyan23x2726(b *testing.B)      { benchRule(b, gar.Bulyan{F: 5}, 23, 2726) }
+func BenchmarkGARMean13x2726(b *testing.B)        { benchRule(b, "mean", 0, 13, 2726) }
+func BenchmarkGARMedian13x2726(b *testing.B)      { benchRule(b, "coordinate-median", 0, 13, 2726) }
+func BenchmarkGARMultiKrum13x2726(b *testing.B)   { benchRule(b, "multi-krum", 5, 13, 2726) }
+func BenchmarkGARTrimmedMean13x2726(b *testing.B) { benchRule(b, "trimmed-mean", 5, 13, 2726) }
+func BenchmarkGARBulyan23x2726(b *testing.B)      { benchRule(b, "bulyan", 5, 23, 2726) }
 
 // BenchmarkGradientTinyConvNet measures the worker-side gradient estimation
 // (batch of 16 on the harness CNN).
@@ -264,16 +275,23 @@ func BenchmarkParamRoundTrip(b *testing.B) {
 }
 
 // BenchmarkEndToEndGuanYuStepBlob measures one full simulated GuanYu step
-// (6 servers, 6 workers) on the blob workload.
+// (6 servers, 6 workers) through the public deployment builder.
 func BenchmarkEndToEndGuanYuStepBlob(b *testing.B) {
-	w := core.BlobWorkload(300, 5)
-	cfg := core.GuanYu(w, 1, 1, 1, 8, 5)
-	cfg.NumWorkers = 6
-	cfg.FWorkers = 1
+	d, err := guanyu.New(
+		guanyu.WithWorkload(guanyu.BlobWorkload(300, 5)),
+		guanyu.WithServers(6, 1),
+		guanyu.WithWorkers(6, 1),
+		guanyu.WithSteps(1),
+		guanyu.WithBatch(8),
+		guanyu.WithSeed(5),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cfg.Steps = 1
-		if _, err := core.Run(cfg); err != nil {
+		if _, err := d.Run(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,5 +1,6 @@
 // Command guanyu-bench regenerates the paper's evaluation: every table and
-// figure of Section 5 plus the design-choice ablations listed in DESIGN.md.
+// figure of Section 5 plus the design-choice ablations listed in DESIGN.md,
+// through the public guanyu experiment API.
 //
 // Usage:
 //
@@ -17,8 +18,7 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/experiments"
-	"repro/internal/stats"
+	"repro/guanyu"
 )
 
 func main() {
@@ -27,9 +27,6 @@ func main() {
 		os.Exit(1)
 	}
 }
-
-var order = []string{"table1", "fig3", "fig4", "table2", "overhead",
-	"contraction", "quorum", "gar", "async", "noniid"}
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("guanyu-bench", flag.ContinueOnError)
@@ -43,103 +40,29 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *list {
-		for _, id := range order {
+		for _, id := range guanyu.ExperimentIDs() {
 			fmt.Fprintln(out, id)
 		}
 		return nil
 	}
-	scale := experiments.Quick
+	scale := guanyu.QuickScale
 	if *full {
-		scale = experiments.Full
+		scale = guanyu.FullScale
 	}
 	scale.Seed = *seed
 
-	selected := map[string]bool{}
-	if *exp == "all" {
-		for _, id := range order {
-			selected[id] = true
+	if *exp != "all" {
+		if err := guanyu.RunExperiment(*exp, scale, out); err != nil {
+			return err
 		}
-	} else {
-		selected[*exp] = true
+		fmt.Fprintln(out)
+		return nil
 	}
-
-	ran := 0
-	for _, id := range order {
-		if !selected[id] {
-			continue
-		}
-		if err := runOne(id, scale, out); err != nil {
+	for _, id := range guanyu.ExperimentIDs() {
+		if err := guanyu.RunExperiment(id, scale, out); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Fprintln(out)
-		ran++
-	}
-	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q (try -list)", *exp)
-	}
-	return nil
-}
-
-func runOne(id string, scale experiments.Scale, out io.Writer) error {
-	switch id {
-	case "table1":
-		fmt.Fprint(out, experiments.Table1())
-	case "fig3":
-		r, err := experiments.Fig3(scale)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, r.Format(scale))
-	case "fig4":
-		r, err := experiments.Fig4(scale)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, r.Format())
-	case "table2":
-		recs, err := experiments.Table2(scale)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, stats.FormatAlignmentTable(recs))
-	case "overhead":
-		r, err := experiments.Overhead(scale)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, r.Format())
-	case "contraction":
-		r, err := experiments.Contraction(scale)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, r.Format())
-	case "quorum":
-		rows, err := experiments.QuorumSweep(scale)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, experiments.FormatQuorumSweep(rows))
-	case "gar":
-		rows, err := experiments.GARAblation(scale)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, experiments.FormatGARAblation(rows))
-	case "async":
-		rows, err := experiments.AsyncSweep(scale)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, experiments.FormatAsyncSweep(rows))
-	case "noniid":
-		rows, err := experiments.NonIID(scale)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, experiments.FormatNonIID(rows))
-	default:
-		return fmt.Errorf("unknown experiment %q", id)
 	}
 	return nil
 }

@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/experiments"
+	"repro/guanyu"
 )
 
 func TestListExperiments(t *testing.T) {
@@ -12,7 +12,7 @@ func TestListExperiments(t *testing.T) {
 	if err := run([]string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	for _, id := range order {
+	for _, id := range guanyu.ExperimentIDs() {
 		if !strings.Contains(out.String(), id) {
 			t.Fatalf("list missing %q:\n%s", id, out.String())
 		}
@@ -40,10 +40,10 @@ func TestRunOneSmallExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("macro experiments")
 	}
-	tiny := experiments.Scale{Steps: 20, Batch: 8, SmallBatch: 4, Examples: 300, Seed: 5}
+	tiny := guanyu.ExperimentScale{Steps: 20, Batch: 8, SmallBatch: 4, Examples: 300, Seed: 5}
 	for _, id := range []string{"fig4", "contraction", "quorum"} {
 		var out strings.Builder
-		if err := runOne(id, tiny, &out); err != nil {
+		if err := guanyu.RunExperiment(id, tiny, &out); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		if out.Len() == 0 {

@@ -1,6 +1,7 @@
 // Command guanyu-node runs a single GuanYu node — one parameter server or
 // one worker — as its own OS process over TCP, so a deployment is N
-// independent processes exactly as on the paper's testbed.
+// independent processes exactly as on the paper's testbed. It is a thin
+// flag layer over guanyu.RunNode.
 //
 // Every process deterministically regenerates the same synthetic workload
 // and model initialisation from -seed, so no data distribution step is
@@ -20,22 +21,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
-	"repro/internal/attack"
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/gar"
-	"repro/internal/nn"
-	"repro/internal/tensor"
-	"repro/internal/transport"
+	"repro/guanyu"
 )
 
 func main() {
@@ -128,34 +122,16 @@ func parsePeers(s string) (map[string]string, error) {
 	return out, nil
 }
 
-// splitRoles partitions the address book into server and worker ids by the
-// naming convention (ps* / wrk*), sorted for determinism.
-func splitRoles(peers map[string]string) (servers, workers []string, err error) {
-	for id := range peers {
-		switch {
-		case strings.HasPrefix(id, "ps"):
-			servers = append(servers, id)
-		case strings.HasPrefix(id, "wrk"):
-			workers = append(workers, id)
-		default:
-			return nil, nil, fmt.Errorf("peer id %q matches neither ps* nor wrk*", id)
-		}
-	}
-	sort.Strings(servers)
-	sort.Strings(workers)
-	return servers, workers, nil
-}
-
-func mkAttack(mode string, seed uint64) (attack.Attack, error) {
+func mkAttack(mode string, seed uint64) (guanyu.Attack, error) {
 	switch mode {
 	case "":
 		return nil, nil
 	case "random":
-		return attack.NewRandomGaussian(100, seed), nil
+		return guanyu.NewRandomGaussian(100, seed), nil
 	case "signflip":
-		return attack.SignFlip{Scale: 30}, nil
+		return guanyu.SignFlip{Scale: 30}, nil
 	case "silent":
-		return attack.Silent{}, nil
+		return guanyu.Silent{}, nil
 	default:
 		return nil, fmt.Errorf("unknown -byzantine mode %q", mode)
 	}
@@ -166,103 +142,54 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	servers, workers, err := splitRoles(cfg.peers)
+	att, err := mkAttack(cfg.byzMode, cfg.seed+guanyu.HashID(cfg.id))
 	if err != nil {
 		return err
 	}
-	if err := gar.CheckDeployment("server", len(servers), cfg.fServers); err != nil {
-		return err
-	}
-	if err := gar.CheckDeployment("worker", len(workers), cfg.fWorkers); err != nil {
-		return err
-	}
-
-	// Every process regenerates the identical workload and θ₀ from -seed.
-	w := core.ImageWorkload(cfg.examples, cfg.seed)
-	att, err := mkAttack(cfg.byzMode, cfg.seed+hashID(cfg.id))
+	servers, workers, err := guanyu.SplitPeers(cfg.peers)
 	if err != nil {
 		return err
 	}
 
-	node, err := transport.ListenTCP(cfg.id, cfg.listen, nil)
+	res, err := guanyu.RunNode(context.Background(), guanyu.NodeConfig{
+		Role:     cfg.role,
+		ID:       cfg.id,
+		Listen:   cfg.listen,
+		Peers:    cfg.peers,
+		FServers: cfg.fServers,
+		FWorkers: cfg.fWorkers,
+		Steps:    cfg.steps,
+		Batch:    cfg.batch,
+		Examples: cfg.examples,
+		Seed:     cfg.seed,
+		Attack:   att,
+		Timeout:  cfg.timeout,
+		OnListen: func(addr string) {
+			fmt.Fprintf(out, "%s listening on %s (%d servers, %d workers)\n",
+				cfg.id, addr, len(servers), len(workers))
+		},
+	})
 	if err != nil {
 		return err
 	}
-	defer node.Close()
-	for id, addr := range cfg.peers {
-		if id != cfg.id {
-			if err := node.AddPeer(id, addr); err != nil {
-				return err
-			}
-		}
-	}
-	fmt.Fprintf(out, "%s listening on %s (%d servers, %d workers)\n",
-		cfg.id, node.Addr(), len(servers), len(workers))
 
-	switch cfg.role {
+	switch res.Role {
 	case "server":
-		peersOnly := make([]string, 0, len(servers)-1)
-		for _, id := range servers {
-			if id != cfg.id {
-				peersOnly = append(peersOnly, id)
-			}
-		}
-		theta, err := cluster.RunServer(node, cluster.ServerConfig{
-			ID: cfg.id, Workers: workers, Peers: peersOnly,
-			Init:     w.Model.ParamVector(),
-			GradRule: gar.MultiKrum{F: cfg.fWorkers}, ParamRule: gar.Median{},
-			QuorumGradients: gar.MinQuorum(cfg.fWorkers),
-			QuorumParams:    gar.MinQuorum(cfg.fServers),
-			Steps:           cfg.steps,
-			LR:              core.InverseTimeLR(0.05, 300),
-			Timeout:         cfg.timeout,
-			Attack:          att,
-		})
-		if err != nil {
-			return err
-		}
-		eval := w.Model.Clone()
-		if err := eval.SetParamVector(theta); err != nil {
-			return err
-		}
 		fmt.Fprintf(out, "%s finished %d steps; local test accuracy %.4f\n",
-			cfg.id, cfg.steps, nn.Accuracy(eval, w.Test.X, w.Test.Labels))
+			res.ID, res.Steps, res.Accuracy)
 		if cfg.ckptPath != "" {
 			f, err := os.Create(cfg.ckptPath)
 			if err != nil {
 				return err
 			}
 			defer f.Close()
-			if err := nn.SaveCheckpoint(f, eval, cfg.steps); err != nil {
+			if err := guanyu.SaveCheckpoint(f, res.Model, res.Steps); err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "%s wrote checkpoint to %s\n", cfg.id, cfg.ckptPath)
+			fmt.Fprintf(out, "%s wrote checkpoint to %s\n", res.ID, cfg.ckptPath)
 		}
 	case "worker":
-		err := cluster.RunWorker(node, cluster.WorkerConfig{
-			ID: cfg.id, Servers: servers,
-			Model:   w.Model.Clone(),
-			Sampler: dataset.NewSampler(w.Train, tensor.NewRNG(cfg.seed^hashID(cfg.id))),
-			Batch:   cfg.batch, ParamRule: gar.Median{},
-			QuorumParams: gar.MinQuorum(cfg.fServers),
-			Steps:        cfg.steps,
-			Timeout:      cfg.timeout,
-			Attack:       att,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "%s finished %d steps\n", cfg.id, cfg.steps)
+		fmt.Fprintf(out, "%s finished %d steps\n", res.ID, res.Steps)
 	}
 	return nil
-}
-
-// hashID derives a per-node seed offset from its name (FNV-1a).
-func hashID(s string) uint64 {
-	var h uint64 = 0xcbf29ce484222325
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 0x100000001b3
-	}
-	return h
 }

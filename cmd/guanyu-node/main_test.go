@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/guanyu"
 )
 
 func TestParsePeers(t *testing.T) {
@@ -20,8 +22,8 @@ func TestParsePeers(t *testing.T) {
 	}
 }
 
-func TestSplitRoles(t *testing.T) {
-	servers, workers, err := splitRoles(map[string]string{
+func TestSplitPeers(t *testing.T) {
+	servers, workers, err := guanyu.SplitPeers(map[string]string{
 		"ps1": "a", "ps0": "b", "wrk0": "c",
 	})
 	if err != nil {
@@ -33,7 +35,7 @@ func TestSplitRoles(t *testing.T) {
 	if len(workers) != 1 || workers[0] != "wrk0" {
 		t.Fatalf("workers %v", workers)
 	}
-	if _, _, err := splitRoles(map[string]string{"node0": "x"}); err == nil {
+	if _, _, err := guanyu.SplitPeers(map[string]string{"node0": "x"}); err == nil {
 		t.Fatal("bad id accepted")
 	}
 }
@@ -84,10 +86,10 @@ func TestRunRejectsTooFewNodes(t *testing.T) {
 }
 
 func TestHashIDStableAndDistinct(t *testing.T) {
-	if hashID("wrk0") != hashID("wrk0") {
+	if guanyu.HashID("wrk0") != guanyu.HashID("wrk0") {
 		t.Fatal("hash not stable")
 	}
-	if hashID("wrk0") == hashID("wrk1") {
+	if guanyu.HashID("wrk0") == guanyu.HashID("wrk1") {
 		t.Fatal("hash collision on adjacent ids")
 	}
 }

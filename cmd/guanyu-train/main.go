@@ -1,22 +1,24 @@
 // Command guanyu-train runs one training deployment — vanilla or GuanYu,
-// clean or under attack — and prints its convergence curve.
+// clean or under attack, simulated or live — and prints its convergence
+// curve. It is a thin flag layer over the public guanyu deployment builder.
 //
 // Examples:
 //
 //	guanyu-train -mode guanyu -fworkers 5 -fservers 1 -steps 300
 //	guanyu-train -mode vanilla -byz-workers 1 -attack random
 //	guanyu-train -mode guanyu -byz-workers 5 -byz-servers 1 -attack signflip
+//	guanyu-train -mode guanyu -runtime live -steps 50
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
-	"repro/internal/attack"
-	"repro/internal/core"
-	"repro/internal/stats"
+	"repro/guanyu"
 )
 
 func main() {
@@ -30,8 +32,10 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("guanyu-train", flag.ContinueOnError)
 	var (
 		mode       = fs.String("mode", "guanyu", "deployment: vanilla | guanyu")
+		runtime    = fs.String("runtime", "sim", "runtime: sim | live")
 		steps      = fs.Int("steps", 200, "number of model updates")
 		batch      = fs.Int("batch", 16, "mini-batch size")
+		rule       = fs.String("rule", "", "gradient aggregation rule (default multi-krum, or mean in vanilla mode)")
 		fWorkers   = fs.Int("fworkers", 5, "declared Byzantine workers (guanyu mode)")
 		fServers   = fs.Int("fservers", 1, "declared Byzantine servers (guanyu mode)")
 		byzWorkers = fs.Int("byz-workers", 0, "actual Byzantine workers")
@@ -45,65 +49,71 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	w := core.ImageWorkload(*examples, *seed)
-	var cfg core.Config
+	opts := []guanyu.Option{
+		guanyu.WithWorkload(guanyu.ImageWorkload(*examples, *seed)),
+		guanyu.WithSteps(*steps),
+		guanyu.WithBatch(*batch),
+		guanyu.WithSeed(*seed),
+	}
+	if *evalEvery > 0 {
+		opts = append(opts, guanyu.WithEval(*evalEvery, 0))
+	}
 	switch *mode {
 	case "vanilla":
-		cfg = core.VanillaTF(w, *steps, *batch, *seed)
+		opts = append(opts, guanyu.WithVanilla(), guanyu.WithOptimizedRuntime(),
+			guanyu.WithWorkers(guanyu.PaperWorkers, 0))
 	case "guanyu":
-		cfg = core.GuanYu(w, *fWorkers, *fServers, *steps, *batch, *seed)
+		opts = append(opts,
+			guanyu.WithServers(guanyu.PaperServers, *fServers),
+			guanyu.WithWorkers(guanyu.PaperWorkers, *fWorkers))
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
-	cfg.EvalEvery = *evalEvery
+	switch *runtime {
+	case "sim":
+		opts = append(opts, guanyu.WithRuntime(guanyu.Sim))
+	case "live":
+		opts = append(opts, guanyu.WithRuntime(guanyu.Live))
+	default:
+		return fmt.Errorf("unknown runtime %q", *runtime)
+	}
+	if *rule != "" {
+		opts = append(opts, guanyu.WithRule(*rule))
+	}
 
-	mk, err := attackFactory(*attackName, *seed)
+	mk, err := guanyu.AttackByName(*attackName, *seed)
 	if err != nil {
 		return err
 	}
 	if *byzWorkers > 0 {
-		cfg = core.WithByzantineWorkers(cfg, *byzWorkers, mk)
+		opts = append(opts, guanyu.WithAttackedWorkers(*byzWorkers, mk))
 	}
 	if *byzServers > 0 {
-		cfg = core.WithByzantineServers(cfg, *byzServers, func(i int) attack.Attack {
-			return attack.TwoFaced{Inner: mk(i + 100)}
-		})
+		opts = append(opts, guanyu.WithAttackedServers(*byzServers, func(i int) guanyu.Attack {
+			return guanyu.TwoFaced{Inner: mk(i + 100)}
+		}))
 	}
 
-	res, err := core.Run(cfg)
+	d, err := guanyu.New(opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(out, stats.FormatSeriesTable(
-		fmt.Sprintf("%s: accuracy vs updates", res.Curve.Name),
-		"updates", []*stats.Series{res.Curve}, false))
-	fmt.Fprintf(out, "\nfinal accuracy: %.4f\n", res.FinalAccuracy)
-	fmt.Fprintf(out, "virtual time:   %.2f s (%.3f updates/s)\n",
-		res.VirtualTime, res.Curve.Throughput())
-	return nil
-}
-
-func attackFactory(name string, seed uint64) (func(int) attack.Attack, error) {
-	switch name {
-	case "random":
-		return func(i int) attack.Attack {
-			return attack.NewRandomGaussian(100, seed+uint64(i))
-		}, nil
-	case "signflip":
-		return func(int) attack.Attack { return attack.SignFlip{Scale: 2} }, nil
-	case "scaled":
-		return func(int) attack.Attack { return attack.ScaledNorm{Factor: 1e6} }, nil
-	case "zero":
-		return func(int) attack.Attack { return attack.Zero{} }, nil
-	case "nan":
-		return func(int) attack.Attack { return attack.NaNInjection{} }, nil
-	case "twofaced":
-		return func(i int) attack.Attack {
-			return attack.TwoFaced{Inner: attack.NewRandomGaussian(100, seed+uint64(i))}
-		}, nil
-	case "silent":
-		return func(int) attack.Attack { return attack.Silent{} }, nil
-	default:
-		return nil, fmt.Errorf("unknown attack %q", name)
+	res, err := d.Run(context.Background())
+	if err != nil {
+		return err
 	}
+	if res.Curve != nil {
+		fmt.Fprint(out, res.CurveTable(
+			fmt.Sprintf("%s: accuracy vs updates", res.Curve.Name), false))
+	}
+	fmt.Fprintf(out, "\nfinal accuracy: %.4f\n", res.FinalAccuracy)
+	switch res.Runtime {
+	case "sim":
+		fmt.Fprintf(out, "virtual time:   %.2f s (%.3f updates/s)\n",
+			res.VirtualTime, res.Curve.Throughput())
+	case "live":
+		fmt.Fprintf(out, "wall time:      %v (%d honest servers)\n",
+			res.WallTime.Round(time.Millisecond), len(res.ServerParams))
+	}
+	return nil
 }

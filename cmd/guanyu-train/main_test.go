@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/guanyu"
 )
 
 func TestRunGuanYuMode(t *testing.T) {
@@ -37,19 +39,40 @@ func TestRunVanillaMode(t *testing.T) {
 	}
 }
 
+func TestRunLiveRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro run")
+	}
+	var out strings.Builder
+	err := run([]string{"-mode", "guanyu", "-runtime", "live", "-steps", "10",
+		"-batch", "8", "-examples", "300"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wall time") {
+		t.Fatalf("live output missing wall time:\n%s", out.String())
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-mode", "nope"}, &out); err == nil {
 		t.Fatal("bad mode accepted")
 	}
+	if err := run([]string{"-runtime", "nope"}, &out); err == nil {
+		t.Fatal("bad runtime accepted")
+	}
 	if err := run([]string{"-attack", "nope", "-byz-workers", "1"}, &out); err == nil {
 		t.Fatal("bad attack accepted")
 	}
+	if err := run([]string{"-rule", "nope"}, &out); err == nil {
+		t.Fatal("bad rule accepted")
+	}
 }
 
-func TestAttackFactoryCoversAll(t *testing.T) {
-	for _, name := range []string{"random", "signflip", "scaled", "zero", "nan", "twofaced", "silent"} {
-		mk, err := attackFactory(name, 1)
+func TestAttackByNameCoversAll(t *testing.T) {
+	for _, name := range guanyu.AttackNames() {
+		mk, err := guanyu.AttackByName(name, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -57,7 +80,7 @@ func TestAttackFactoryCoversAll(t *testing.T) {
 			t.Fatalf("%s: nil attack", name)
 		}
 	}
-	if _, err := attackFactory("bogus", 1); err == nil {
+	if _, err := guanyu.AttackByName("bogus", 1); err == nil {
 		t.Fatal("bogus attack accepted")
 	}
 }

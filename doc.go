@@ -1,11 +1,26 @@
 // Package repro is a from-scratch Go reproduction of "Genuinely Distributed
-// Byzantine Machine Learning" (El-Mhamdi, Guerraoui, Guirguis, Rouault —
-// PODC 2020): the GuanYu algorithm, the first distributed SGD protocol
-// tolerating Byzantine parameter servers as well as Byzantine workers under
-// full network asynchrony.
+// Byzantine Machine Learning" (El-Mhamdi, Guerraoui, Guirguis, Hoang,
+// Rouault — PODC 2020): the GuanYu algorithm, the first distributed SGD
+// protocol tolerating Byzantine parameter servers as well as Byzantine
+// workers under full network asynchrony.
 //
-// The implementation lives under internal/ (see DESIGN.md for the system
-// inventory), the runnable entry points under cmd/ and examples/, and the
-// benchmark harness regenerating every table and figure of the paper's
-// evaluation in bench_test.go at this root.
+// The way in is the public guanyu package: one functional-options builder
+// describes a deployment, one Runner interface executes it under the
+// deterministic virtual-time simulator (guanyu.Sim, reproduces the paper's
+// figures) or with real concurrency (guanyu.Live, in-process or TCP).
+// Aggregation rules live behind the registry in guanyu/gar, keyed by stable
+// names such as "multi-krum" and "coordinate-median".
+//
+//	d, _ := guanyu.New(
+//		guanyu.WithWorkload(guanyu.ImageWorkload(1200, 1)),
+//		guanyu.WithServers(6, 1),
+//		guanyu.WithWorkers(18, 5),
+//		guanyu.WithRule("multi-krum"),
+//	)
+//	res, _ := d.Run(context.Background())
+//
+// The protocol implementation lives under internal/ (see DESIGN.md for the
+// system inventory), the runnable entry points under cmd/ and examples/,
+// and the benchmark harness regenerating every table and figure of the
+// paper's evaluation in bench_test.go at this root.
 package repro

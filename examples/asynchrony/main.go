@@ -1,6 +1,6 @@
 // Asynchrony: GuanYu makes progress with unbounded delays and silent nodes.
 //
-// This example runs the *live* runtime — one goroutine per node over an
+// This example runs the Live runtime — one goroutine per node over an
 // in-process network — with heavy-tailed message delays, one straggler
 // server whose links are 50x slower, and one server that never speaks at
 // all. Quorums (q ≤ n−f) let every round complete without waiting for the
@@ -10,60 +10,45 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/attack"
-	"repro/internal/cluster"
-	"repro/internal/dataset"
-	"repro/internal/nn"
-	"repro/internal/tensor"
-	"repro/internal/transport"
+	"repro/guanyu"
 )
 
 func main() {
-	data := dataset.Blobs(900, 3, 3, 0.5, 11)
-	train, test := data.Split(0.8, tensor.NewRNG(12))
-	model := nn.NewMLP(tensor.NewRNG(13), 2, 16, 3)
-
 	// Heavy-tailed (log-normal, σ=1) millisecond-scale delays, with server
 	// ps4 straggling 50x behind everyone else.
-	lat := transport.NewLatencyModel(500e-6, 1.0, 0, 21)
-	lat.NodeSlowdown = map[string]float64{cluster.ServerID(4): 50}
+	lat := guanyu.NewLatencyModel(500e-6, 1.0, 0, 21)
+	lat.NodeSlowdown = map[string]float64{guanyu.ServerID(4): 50}
 
-	cfg := cluster.LiveConfig{
-		Model:      model,
-		Train:      train,
-		NumServers: 6, FServers: 1,
-		NumWorkers: 6, FWorkers: 1,
+	d, err := guanyu.New(
+		guanyu.WithWorkload(guanyu.BlobWorkload(900, 11)),
+		guanyu.WithRuntime(guanyu.Live),
+		guanyu.WithServers(6, 1),
+		guanyu.WithWorkers(6, 1),
 		// ps5 is Byzantine-silent: it never sends a single message.
-		ServerAttacks: map[int]attack.Attack{5: attack.Silent{}},
-		Delay:         lat.DelayFunc(0, 1),
-		Steps:         120, Batch: 16,
-		LR:      func(t int) float64 { return 0.2 / (1 + float64(t)/100) },
-		Timeout: 2 * time.Minute,
-		Seed:    14,
-	}
-
-	start := time.Now()
-	res, err := cluster.RunLive(cfg)
+		guanyu.WithServerAttack(5, guanyu.Silent{}),
+		guanyu.WithDelay(lat.DelayFunc(0, 1)),
+		guanyu.WithSteps(120),
+		guanyu.WithBatch(16),
+		guanyu.WithLR(guanyu.InverseTimeLR(0.2, 100)),
+		guanyu.WithTimeout(2*time.Minute),
+		guanyu.WithSeed(14),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	eval := model.Clone()
-	if err := eval.SetParamVector(res.Final); err != nil {
+	res, err := d.Run(context.Background())
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("live run: %d steps, %d honest servers finished in %v\n",
-		cfg.Steps, len(res.ServerParams), time.Since(start).Round(time.Millisecond))
+		res.Updates, len(res.ServerParams), res.WallTime.Round(time.Millisecond))
 	fmt.Printf("final accuracy: %.3f (straggler 50x slow, one server silent)\n",
-		nn.Accuracy(eval, test.X, test.Labels))
-
-	finals := make([]tensor.Vector, 0, len(res.ServerParams))
-	for _, v := range res.ServerParams {
-		finals = append(finals, v)
-	}
-	fmt.Printf("honest-server max drift: %.4f (the contraction round keeps replicas together)\n",
-		tensor.MaxPairwiseDistance(finals))
+		res.FinalAccuracy)
+	fmt.Println("progress requires only quorums of q=5 servers and q̄=5 workers —")
+	fmt.Println("the protocol never waits for the slowest or the silent.")
 }

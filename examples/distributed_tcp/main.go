@@ -1,166 +1,49 @@
 // Distributed deployment over real TCP sockets.
 //
-// Every node — 6 parameter servers and 6 workers — listens on its own
-// localhost TCP port and exchanges gob-encoded frames, exactly as separate
-// processes on a cluster would (the repository's equivalent of the paper's
-// gRPC deployment on Grid5000). One worker is Byzantine.
+// The same guanyu builder that drives the simulator and the in-process
+// live runtime here runs every node — 6 parameter servers and 6 workers —
+// over its own localhost TCP port with gob-encoded frames, exactly as
+// separate processes on a cluster would (the repository's equivalent of
+// the paper's gRPC deployment on Grid5000). One worker is Byzantine. For
+// the one-OS-process-per-node shape, see cmd/guanyu-node and
+// guanyu.RunNode.
 //
 // Run with: go run ./examples/distributed_tcp
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
-	"repro/internal/attack"
-	"repro/internal/cluster"
-	"repro/internal/dataset"
-	"repro/internal/gar"
-	"repro/internal/nn"
-	"repro/internal/tensor"
-	"repro/internal/transport"
+	"repro/guanyu"
 )
 
 func main() {
-	if err := run(); err != nil {
+	const numServers, numWorkers = 6, 6
+	d, err := guanyu.New(
+		guanyu.WithWorkload(guanyu.BlobWorkload(900, 31)),
+		guanyu.WithRuntime(guanyu.Live),
+		guanyu.WithTCPTransport(),
+		guanyu.WithServers(numServers, 1),
+		guanyu.WithWorkers(numWorkers, 1),
+		guanyu.WithWorkerAttack(numWorkers-1, guanyu.SignFlip{Scale: 10}),
+		guanyu.WithSteps(60),
+		guanyu.WithBatch(16),
+		guanyu.WithLR(guanyu.ConstantLR(0.2)),
+		guanyu.WithTimeout(time.Minute),
+		guanyu.WithSeed(34),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
-}
-
-func run() error {
-	const (
-		numServers, fServers = 6, 1
-		numWorkers, fWorkers = 6, 1
-		steps, batch         = 60, 16
-	)
-	data := dataset.Blobs(900, 3, 3, 0.5, 31)
-	train, test := data.Split(0.8, tensor.NewRNG(32))
-	model := nn.NewMLP(tensor.NewRNG(33), 2, 16, 3)
-	theta0 := model.ParamVector()
-
-	// Start every node's listener on an ephemeral port, then exchange the
-	// address book — the bootstrap a deployment tool would do.
-	nodes := make(map[string]*transport.TCPNode, numServers+numWorkers)
-	addrs := make(map[string]string, numServers+numWorkers)
-	var ids []string
-	for i := 0; i < numServers; i++ {
-		ids = append(ids, cluster.ServerID(i))
-	}
-	for j := 0; j < numWorkers; j++ {
-		ids = append(ids, cluster.WorkerID(j))
-	}
-	for _, id := range ids {
-		n, err := transport.ListenTCP(id, "127.0.0.1:0", nil)
-		if err != nil {
-			return fmt.Errorf("listen %s: %w", id, err)
-		}
-		defer n.Close()
-		nodes[id] = n
-		addrs[id] = n.Addr()
-	}
-	for _, n := range nodes {
-		for id, addr := range addrs {
-			if id != n.ID() {
-				if err := addPeer(n, id, addr); err != nil {
-					return err
-				}
-			}
-		}
-	}
-
-	serverIDs := ids[:numServers]
-	workerIDs := ids[numServers:]
-	rng := tensor.NewRNG(34)
-
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		finals  []tensor.Vector
-		runErrs []error
-	)
-	for i := 0; i < numServers; i++ {
-		peers := make([]string, 0, numServers-1)
-		for k, id := range serverIDs {
-			if k != i {
-				peers = append(peers, id)
-			}
-		}
-		scfg := cluster.ServerConfig{
-			ID:              serverIDs[i],
-			Workers:         workerIDs,
-			Peers:           peers,
-			Init:            theta0,
-			GradRule:        gar.MultiKrum{F: fWorkers},
-			ParamRule:       gar.Median{},
-			QuorumGradients: gar.MinQuorum(fWorkers),
-			QuorumParams:    gar.MinQuorum(fServers),
-			Steps:           steps,
-			LR:              func(int) float64 { return 0.2 },
-			Timeout:         time.Minute,
-		}
-		ep := nodes[serverIDs[i]]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			theta, err := cluster.RunServer(ep, scfg)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				runErrs = append(runErrs, err)
-				return
-			}
-			finals = append(finals, theta)
-		}()
-	}
-	for j := 0; j < numWorkers; j++ {
-		wcfg := cluster.WorkerConfig{
-			ID:           workerIDs[j],
-			Servers:      serverIDs,
-			Model:        model.Clone(),
-			Sampler:      dataset.NewSampler(train, rng.Split()),
-			Batch:        batch,
-			ParamRule:    gar.Median{},
-			QuorumParams: gar.MinQuorum(fServers),
-			Steps:        steps,
-			Timeout:      time.Minute,
-		}
-		if j == numWorkers-1 {
-			wcfg.Attack = attack.SignFlip{Scale: 10} // one Byzantine worker
-		}
-		ep := nodes[workerIDs[j]]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := cluster.RunWorker(ep, wcfg); err != nil {
-				mu.Lock()
-				runErrs = append(runErrs, err)
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	if len(runErrs) > 0 {
-		return runErrs[0]
-	}
-
-	final, err := gar.Median{}.Aggregate(finals)
+	res, err := d.Run(context.Background())
 	if err != nil {
-		return err
-	}
-	eval := model.Clone()
-	if err := eval.SetParamVector(final); err != nil {
-		return err
+		log.Fatal(err)
 	}
 	fmt.Printf("TCP deployment: %d servers + %d workers over %d real sockets\n",
-		numServers, numWorkers, len(nodes))
-	fmt.Printf("final accuracy with one Byzantine worker: %.3f\n",
-		nn.Accuracy(eval, test.X, test.Labels))
-	return nil
-}
-
-// addPeer registers a peer address on an already-listening node.
-func addPeer(n *transport.TCPNode, id, addr string) error {
-	return n.AddPeer(id, addr)
+		numServers, numWorkers, numServers+numWorkers)
+	fmt.Printf("final accuracy with one Byzantine worker: %.3f (in %v)\n",
+		res.FinalAccuracy, res.WallTime.Round(time.Millisecond))
 }

@@ -1,40 +1,52 @@
 // Quickstart: train a model with GuanYu and survive Byzantine participants.
 //
-// This example sets up the paper's deployment — 6 parameter servers (1
-// Byzantine) and 18 workers (5 Byzantine) — on a synthetic 10-class image
-// task, runs a few hundred steps, and prints the convergence curve. Compare
-// with the vanilla run at the end, which a single Byzantine worker destroys.
+// Everything goes through the public guanyu façade: one functional-options
+// builder describes the deployment — the paper's scale, 6 parameter servers
+// (1 Byzantine) and 18 workers (5 Byzantine) — and one Run call executes it.
+// The default runtime is the deterministic virtual-time simulator; swap in
+// guanyu.WithRuntime(guanyu.Live) and the identical description runs with
+// one goroutine per node instead. Compare with the vanilla run at the end,
+// which a single Byzantine worker destroys.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/attack"
-	"repro/internal/core"
+	"repro/guanyu"
 )
 
 func main() {
 	// A workload = model template + train/test data. ImageWorkload is the
 	// CIFAR-10 stand-in: 10 procedurally generated image classes.
-	workload := core.ImageWorkload(1200, 1)
+	workload := guanyu.ImageWorkload(1200, 1)
 
 	// GuanYu deployment: declared f̄=5 Byzantine workers, f=1 Byzantine
-	// server (quorums q̄=13, q=5 follow from 2f+3).
-	cfg := core.GuanYu(workload, 5, 1, 150, 16, 1)
-
-	// Make 5 workers and 1 server *actually* Byzantine.
-	cfg = core.WithByzantineWorkers(cfg, 5, func(i int) attack.Attack {
-		return attack.SignFlip{Scale: 30} // gradient-ascent corruption
-	})
-	cfg = core.WithByzantineServers(cfg, 1, func(i int) attack.Attack {
-		// Equivocates: honest model to half the workers, garbage to the rest.
-		return attack.TwoFaced{Inner: attack.NewRandomGaussian(100, 7)}
-	})
-
-	res, err := core.Run(cfg)
+	// server (quorums q̄=13, q=5 follow from 2f+3), Multi-Krum gradient
+	// aggregation — and 5 workers plus 1 server *actually* Byzantine.
+	d, err := guanyu.New(
+		guanyu.WithWorkload(workload),
+		guanyu.WithServers(6, 1),
+		guanyu.WithWorkers(18, 5),
+		guanyu.WithRule("multi-krum"),
+		guanyu.WithAttackedWorkers(5, func(int) guanyu.Attack {
+			return guanyu.SignFlip{Scale: 30} // gradient-ascent corruption
+		}),
+		guanyu.WithAttackedServers(1, func(int) guanyu.Attack {
+			// Equivocates: honest model to half the workers, garbage to the rest.
+			return guanyu.TwoFaced{Inner: guanyu.NewRandomGaussian(100, 7)}
+		}),
+		guanyu.WithSteps(150),
+		guanyu.WithBatch(16),
+		guanyu.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := d.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,12 +56,24 @@ func main() {
 	}
 	fmt.Printf("final accuracy: %.3f\n\n", res.FinalAccuracy)
 
-	// The same attack against the unprotected baseline.
-	vanilla := core.VanillaTF(core.ImageWorkload(1200, 1), 150, 16, 1)
-	vanilla = core.WithByzantineWorkers(vanilla, 1, func(int) attack.Attack {
-		return attack.SignFlip{Scale: 30}
-	})
-	vres, err := core.Run(vanilla)
+	// The same attack against the unprotected baseline: one server, mean
+	// aggregation, no Byzantine filtering.
+	vanilla, err := guanyu.New(
+		guanyu.WithWorkload(guanyu.ImageWorkload(1200, 1)),
+		guanyu.WithVanilla(),
+		guanyu.WithOptimizedRuntime(),
+		guanyu.WithWorkers(18, 0),
+		guanyu.WithAttackedWorkers(1, func(int) guanyu.Attack {
+			return guanyu.SignFlip{Scale: 30}
+		}),
+		guanyu.WithSteps(150),
+		guanyu.WithBatch(16),
+		guanyu.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vres, err := vanilla.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,75 @@
+package guanyu
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+)
+
+// Attack is a Byzantine behaviour: it intercepts every outbound vector of a
+// compromised node and may corrupt it per receiver (equivocation) or
+// suppress it (silence). The catalogue below is re-exported from the
+// attack layer; AttackByName selects one from a flag or config string.
+type Attack = attack.Attack
+
+// RandomGaussian replaces the vector with fresh Gaussian noise per receiver.
+type RandomGaussian = attack.RandomGaussian
+
+// SignFlip negates and scales the honest vector — gradient ascent.
+type SignFlip = attack.SignFlip
+
+// ScaledNorm multiplies the honest vector by a huge factor.
+type ScaledNorm = attack.ScaledNorm
+
+// Zero sends the zero vector (a stalling attack).
+type Zero = attack.Zero
+
+// NaNInjection poisons the vector with NaNs.
+type NaNInjection = attack.NaNInjection
+
+// TwoFaced equivocates: honest vector to half the receivers, the inner
+// attack's corruption to the rest.
+type TwoFaced = attack.TwoFaced
+
+// Silent never sends anything.
+type Silent = attack.Silent
+
+// NewRandomGaussian builds a RandomGaussian attack with the given standard
+// deviation and seed.
+func NewRandomGaussian(std float64, seed uint64) *RandomGaussian {
+	return attack.NewRandomGaussian(std, seed)
+}
+
+// AttackNames lists the names AttackByName accepts.
+func AttackNames() []string {
+	return []string{"random", "signflip", "scaled", "zero", "nan", "twofaced", "silent"}
+}
+
+// AttackByName returns a per-node factory for the named behaviour, so
+// command-line flags and configs can arm deployments without switch
+// statements. The factory takes the node index, ensuring stateful attacks
+// don't share generators.
+func AttackByName(name string, seed uint64) (func(i int) Attack, error) {
+	switch name {
+	case "random":
+		return func(i int) Attack {
+			return attack.NewRandomGaussian(100, seed+uint64(i))
+		}, nil
+	case "signflip":
+		return func(int) Attack { return SignFlip{Scale: 2} }, nil
+	case "scaled":
+		return func(int) Attack { return ScaledNorm{Factor: 1e6} }, nil
+	case "zero":
+		return func(int) Attack { return Zero{} }, nil
+	case "nan":
+		return func(int) Attack { return NaNInjection{} }, nil
+	case "twofaced":
+		return func(i int) Attack {
+			return TwoFaced{Inner: attack.NewRandomGaussian(100, seed+uint64(i))}
+		}, nil
+	case "silent":
+		return func(int) Attack { return Silent{} }, nil
+	default:
+		return nil, fmt.Errorf("guanyu: unknown attack %q (known: %v)", name, AttackNames())
+	}
+}

@@ -1,0 +1,79 @@
+package gar_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/guanyu/gar"
+)
+
+// The redesigned Aggregate(ctx, dst, inputs) contract exists so the server
+// hot loop aggregates without allocating. These benchmarks assert that
+// property: mean and coordinate-median must be exactly zero-alloc on a
+// 10k-dimensional vector once dst and scratch are warm.
+
+const (
+	allocDim = 10_000
+	allocN   = 13 // the paper's gradient quorum q̄ = 2·5+3
+)
+
+func benchInputs() [][]float64 {
+	vs := make([][]float64, allocN)
+	for i := range vs {
+		vs[i] = make([]float64, allocDim)
+		for j := range vs[i] {
+			vs[i][j] = float64((i+1)*(j+3)%97) / 7
+		}
+	}
+	return vs
+}
+
+func assertZeroAlloc(b *testing.B, name string) {
+	b.Helper()
+	r := gar.MustNew(name, gar.Params{F: 5, Inputs: allocN})
+	inputs := benchInputs()
+	dst := make([]float64, allocDim)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := r.Aggregate(ctx, dst, inputs); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		b.Fatalf("%s: Aggregate allocated %.1f times per run, want 0", name, allocs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Aggregate(ctx, dst, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateMeanZeroAlloc10k(b *testing.B) {
+	assertZeroAlloc(b, "mean")
+}
+
+func BenchmarkAggregateMedianZeroAlloc10k(b *testing.B) {
+	assertZeroAlloc(b, "coordinate-median")
+}
+
+// TestAggregateZeroAlloc runs the same assertion under `go test` so the
+// zero-alloc property is enforced by the tier-1 suite, not only when
+// benchmarks are invoked.
+func TestAggregateZeroAlloc(t *testing.T) {
+	for _, name := range []string{"mean", "coordinate-median"} {
+		r := gar.MustNew(name, gar.Params{F: 5, Inputs: allocN})
+		inputs := benchInputs()
+		dst := make([]float64, allocDim)
+		ctx := context.Background()
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := r.Aggregate(ctx, dst, inputs); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Aggregate allocated %.1f times per run, want 0", name, allocs)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package gar
+
+import igar "repro/internal/gar"
+
+// The theoretical preconditions of GuanYu (Section 3.2 of the paper),
+// re-exported so deployment tooling outside this module can validate
+// topologies against the same statement of the theory:
+//
+//	n  ≥ 3f+3    parameter servers, f Byzantine
+//	n̄  ≥ 3f̄+3    workers, f̄ Byzantine
+//	2f+3 ≤ q ≤ n−f      quorum for the coordinate-wise median M
+//	2f̄+3 ≤ q̄ ≤ n̄−f̄      quorum for Multi-Krum F
+
+// CheckDeployment verifies the population bound n ≥ 3f+3 for one node role.
+func CheckDeployment(role string, n, f int) error {
+	return igar.CheckDeployment(role, n, f)
+}
+
+// CheckQuorum verifies 2f+3 ≤ q ≤ n−f for one node role.
+func CheckQuorum(role string, n, f, q int) error {
+	return igar.CheckQuorum(role, n, f, q)
+}
+
+// MinQuorum returns the smallest legal quorum 2f+3 for the given f.
+func MinQuorum(f int) int { return igar.MinQuorum(f) }
+
+// MaxQuorum returns the largest legal quorum n−f.
+func MaxQuorum(n, f int) int { return igar.MaxQuorum(n, f) }
+
+// MinPopulation returns the smallest legal population 3f+3 for the given f.
+func MinPopulation(f int) int { return igar.MinPopulation(f) }
+
+// BreakdownPoint returns the asymptotically optimal Byzantine fraction for
+// asynchronous networks derived by the paper: 1/3.
+func BreakdownPoint() float64 { return igar.BreakdownPoint() }

@@ -1,0 +1,231 @@
+package gar_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/guanyu/gar"
+)
+
+func vectors(n, d int) [][]float64 {
+	vs := make([][]float64, n)
+	for i := range vs {
+		vs[i] = make([]float64, d)
+		for j := range vs[i] {
+			vs[i][j] = float64(i*d + j)
+		}
+	}
+	return vs
+}
+
+// TestRegistryRoundTrip: every registered name constructs, and the rule
+// reports exactly the name it was constructed under.
+func TestRegistryRoundTrip(t *testing.T) {
+	names := gar.Names()
+	if len(names) == 0 {
+		t.Fatal("empty registry")
+	}
+	for _, name := range names {
+		r, err := gar.New(name, gar.Params{F: 1})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if r.Name() != name {
+			t.Fatalf("New(%q).Name() = %q, want round-trip", name, r.Name())
+		}
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	if _, err := gar.New("no-such-rule", gar.Params{}); !errors.Is(err, gar.ErrUnknownRule) {
+		t.Fatalf("unknown rule: got %v, want ErrUnknownRule", err)
+	}
+}
+
+func TestRegistryNegativeF(t *testing.T) {
+	if _, err := gar.New("multi-krum", gar.Params{F: -1}); err == nil {
+		t.Fatal("negative f accepted")
+	}
+}
+
+// TestRegistryInputPreconditions: the rule-specific cardinality bounds
+// surface at construction when Params.Inputs is declared.
+func TestRegistryInputPreconditions(t *testing.T) {
+	cases := []struct {
+		name string
+		f    int
+		min  int
+	}{
+		{"krum", 2, 7},         // 2f+3
+		{"multi-krum", 5, 13},  // 2f+3
+		{"trimmed-mean", 3, 7}, // 2f+1
+		{"bulyan", 1, 7},       // 4f+3
+		{"mda", 4, 5},          // f+1
+		{"mean", 0, 1},
+		{"coordinate-median", 0, 1},
+		{"geometric-median", 0, 1},
+	}
+	for _, tc := range cases {
+		got, err := gar.MinInputs(tc.name, tc.f)
+		if err != nil {
+			t.Fatalf("MinInputs(%q): %v", tc.name, err)
+		}
+		if got != tc.min {
+			t.Fatalf("MinInputs(%q, f=%d) = %d, want %d", tc.name, tc.f, got, tc.min)
+		}
+		if _, err := gar.New(tc.name, gar.Params{F: tc.f, Inputs: tc.min}); err != nil {
+			t.Fatalf("New(%q, Inputs=%d) rejected the legal minimum: %v", tc.name, tc.min, err)
+		}
+		if tc.min > 1 {
+			_, err := gar.New(tc.name, gar.Params{F: tc.f, Inputs: tc.min - 1})
+			if !errors.Is(err, gar.ErrTooFewInputs) {
+				t.Fatalf("New(%q, Inputs=%d): got %v, want ErrTooFewInputs", tc.name, tc.min-1, err)
+			}
+		}
+	}
+}
+
+// TestRegistryDeploymentBound: the population bound n ≥ 3f+3 surfaces at
+// construction when Params.Deployment is declared.
+func TestRegistryDeploymentBound(t *testing.T) {
+	if _, err := gar.New("multi-krum", gar.Params{F: 5, Deployment: 18}); err != nil {
+		t.Fatalf("legal deployment (18 ≥ 3·5+3) rejected: %v", err)
+	}
+	if _, err := gar.New("multi-krum", gar.Params{F: 5, Deployment: 17}); err == nil {
+		t.Fatal("deployment 17 < 3·5+3 accepted")
+	}
+	if err := gar.CheckDeployment("server", 6, 1); err != nil {
+		t.Fatalf("CheckDeployment(6, 1): %v", err)
+	}
+	if err := gar.CheckDeployment("server", 5, 1); err == nil {
+		t.Fatal("CheckDeployment(5, 1) accepted")
+	}
+	if err := gar.CheckQuorum("server", 6, 1, 5); err != nil {
+		t.Fatalf("CheckQuorum(6, 1, 5): %v", err)
+	}
+	if err := gar.CheckQuorum("server", 6, 1, 6); err == nil {
+		t.Fatal("CheckQuorum q > n−f accepted")
+	}
+}
+
+// TestAggregateTooFewAtCallTime: the precondition also holds at Aggregate
+// time, regardless of what was declared at construction.
+func TestAggregateTooFewAtCallTime(t *testing.T) {
+	r := gar.MustNew("multi-krum", gar.Params{F: 5})
+	_, err := r.Aggregate(context.Background(), nil, vectors(6, 4))
+	if !errors.Is(err, gar.ErrTooFewInputs) {
+		t.Fatalf("got %v, want ErrTooFewInputs", err)
+	}
+}
+
+// TestMeanMedianIntoDst: results land in the caller's slice and match the
+// expected values.
+func TestMeanMedianIntoDst(t *testing.T) {
+	inputs := [][]float64{{1, 10}, {2, 20}, {6, 60}}
+	dst := make([]float64, 2)
+
+	mean := gar.MustNew("mean", gar.Params{})
+	out, err := mean.Aggregate(context.Background(), dst, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &dst[0] {
+		t.Fatal("mean did not aggregate into the supplied destination")
+	}
+	if got, want := out[0], 3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean[0] = %v, want %v", got, want)
+	}
+
+	med := gar.MustNew("coordinate-median", gar.Params{})
+	out, err = med.Aggregate(context.Background(), dst, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out[1], 20.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("median[1] = %v, want %v", got, want)
+	}
+	// inputs must be left untouched by the scratch-based median.
+	if inputs[0][0] != 1 || inputs[2][1] != 60 {
+		t.Fatalf("median modified its inputs: %v", inputs)
+	}
+}
+
+func TestAggregateNilDstAllocates(t *testing.T) {
+	for _, name := range []string{"mean", "coordinate-median", "multi-krum"} {
+		r := gar.MustNew(name, gar.Params{F: 1})
+		out, err := r.Aggregate(context.Background(), nil, vectors(7, 3))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) != 3 {
+			t.Fatalf("%s: output dimension %d, want 3", name, len(out))
+		}
+	}
+}
+
+func TestAggregateDimensionMismatch(t *testing.T) {
+	r := gar.MustNew("mean", gar.Params{})
+	if _, err := r.Aggregate(context.Background(), make([]float64, 5), vectors(3, 4)); err == nil {
+		t.Fatal("mismatched destination accepted")
+	}
+}
+
+func TestAggregateHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range gar.Names() {
+		r := gar.MustNew(name, gar.Params{F: 1})
+		if _, err := r.Aggregate(ctx, nil, vectors(7, 3)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: got %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestRegisterExternalRule: the registry accepts third-party constructors
+// and rejects collisions.
+func TestRegisterExternalRule(t *testing.T) {
+	first := func(p gar.Params) (gar.Rule, error) { return pickFirst{}, nil }
+	if err := gar.Register("test-pick-first", first); err != nil {
+		t.Fatal(err)
+	}
+	if err := gar.Register("test-pick-first", first); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := gar.Register("mean", first); err == nil {
+		t.Fatal("built-in shadowing accepted")
+	}
+	r, err := gar.New("test-pick-first", gar.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Aggregate(context.Background(), nil, [][]float64{{4, 2}, {9, 9}})
+	if err != nil || out[0] != 4 {
+		t.Fatalf("external rule: out=%v err=%v", out, err)
+	}
+	found := false
+	for _, n := range gar.Names() {
+		if n == "test-pick-first" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names() does not list the registered rule")
+	}
+}
+
+type pickFirst struct{}
+
+func (pickFirst) Name() string { return "test-pick-first" }
+func (pickFirst) Aggregate(ctx context.Context, dst []float64, inputs [][]float64) ([]float64, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("empty")
+	}
+	if dst == nil {
+		dst = make([]float64, len(inputs[0]))
+	}
+	copy(dst, inputs[0])
+	return dst, nil
+}

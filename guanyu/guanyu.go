@@ -1,0 +1,229 @@
+// Package guanyu is the public deployment API of the GuanYu reproduction —
+// "Genuinely Distributed Byzantine Machine Learning" (El-Mhamdi, Guerraoui,
+// Guirguis, Hoang, Rouault — PODC 2020): Byzantine-tolerant SGD with
+// replicated parameter servers under full network asynchrony.
+//
+// One functional-options builder describes a deployment; one Runner
+// interface executes it under either of the two runtimes:
+//
+//   - Sim — the deterministic virtual-time engine that regenerates the
+//     paper's figures reproducibly on any machine;
+//   - Live — one goroutine per node over an asynchronous message transport,
+//     in-process channels by default or real TCP sockets with
+//     WithTCPTransport.
+//
+// The minimal deployment, at the paper's scale (6 parameter servers of
+// which 1 Byzantine, 18 workers of which 5 Byzantine):
+//
+//	d, err := guanyu.New(
+//		guanyu.WithWorkload(guanyu.ImageWorkload(1200, 1)),
+//		guanyu.WithServers(6, 1),
+//		guanyu.WithWorkers(18, 5),
+//		guanyu.WithRule("multi-krum"),
+//		guanyu.WithAttackedWorkers(5, func(int) guanyu.Attack {
+//			return guanyu.SignFlip{Scale: 30}
+//		}),
+//		guanyu.WithSteps(150),
+//	)
+//	if err != nil { ... }
+//	res, err := d.Run(context.Background())
+//
+// Swapping guanyu.WithRuntime(guanyu.Live) executes the identical
+// deployment with real concurrency instead of virtual time. Aggregation
+// rules are selected by registry name (see guanyu/gar); Byzantine
+// behaviours by value (see Attack and AttackByName).
+package guanyu
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	igar "repro/internal/gar"
+)
+
+// Deployment is a fully validated description of one GuanYu (or vanilla
+// baseline) run. Build one with New; execute it with Run. A Deployment is
+// immutable after New and may be run multiple times.
+type Deployment struct {
+	workload  Workload
+	vanilla   bool
+	optimized bool
+
+	numServers, fServers int
+	numWorkers, fWorkers int
+	qServers, qWorkers   int
+	serversSet           bool
+
+	ruleName      string
+	paramRuleName string
+
+	serverAttacks map[int]Attack
+	workerAttacks map[int]Attack
+
+	steps    int
+	batch    int
+	lr       Schedule
+	momentum float64
+	seed     uint64
+
+	evalEvery    int
+	evalExamples int
+	alignEvery   int
+	alignAfter   int
+	noExchange   bool
+
+	runtime   Runner
+	timeout   time.Duration
+	delay     DelayFunc
+	suspicion *Suspicion
+	tcp       bool
+}
+
+// New builds and validates a deployment from the given options. Topology
+// bounds (n ≥ 3f+3, 2f+3 ≤ q ≤ n−f per role), rule names and mode
+// constraints are all checked here, so a non-nil Deployment is runnable.
+func New(opts ...Option) (*Deployment, error) {
+	d := &Deployment{
+		numServers: PaperServers, fServers: PaperByzServers,
+		numWorkers: PaperWorkers, fWorkers: PaperByzWorkers,
+		ruleName:      "",
+		paramRuleName: "coordinate-median",
+		steps:         100,
+		batch:         16,
+		seed:          1,
+		evalEvery:     10,
+		runtime:       Sim,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(d); err != nil {
+			return nil, fmt.Errorf("guanyu: %w", err)
+		}
+	}
+	if err := d.normalize(); err != nil {
+		return nil, fmt.Errorf("guanyu: %w", err)
+	}
+	return d, nil
+}
+
+// normalize applies mode defaults and validates the full configuration.
+func (d *Deployment) normalize() error {
+	if d.workload.Model == nil || d.workload.Train == nil {
+		return fmt.Errorf("a workload is required (use WithWorkload, e.g. ImageWorkload or BlobWorkload)")
+	}
+	if d.steps <= 0 || d.batch <= 0 {
+		return fmt.Errorf("steps and batch must be positive (got %d, %d)", d.steps, d.batch)
+	}
+	if d.vanilla && !d.serversSet {
+		d.numServers, d.fServers = 1, 0
+	}
+	if d.ruleName == "" {
+		if d.vanilla {
+			d.ruleName = "mean"
+		} else {
+			d.ruleName = "multi-krum"
+		}
+	}
+	if _, err := igar.LookupSpec(d.ruleName); err != nil {
+		return err
+	}
+	if _, err := igar.LookupSpec(d.paramRuleName); err != nil {
+		return err
+	}
+	if d.vanilla {
+		if d.numServers != 1 {
+			return fmt.Errorf("vanilla mode runs exactly 1 server, got %d", d.numServers)
+		}
+		if d.numWorkers < 1 {
+			return fmt.Errorf("vanilla mode needs ≥ 1 worker")
+		}
+	} else {
+		if err := igar.CheckDeployment("server", d.numServers, d.fServers); err != nil {
+			return err
+		}
+		if err := igar.CheckDeployment("worker", d.numWorkers, d.fWorkers); err != nil {
+			return err
+		}
+		if err := igar.CheckQuorum("server", d.numServers, d.fServers, d.quorumServers()); err != nil {
+			return err
+		}
+		if err := igar.CheckQuorum("worker", d.numWorkers, d.fWorkers, d.quorumWorkers()); err != nil {
+			return err
+		}
+	}
+	if len(d.serverAttacks) >= d.numServers {
+		return fmt.Errorf("every server is Byzantine; nothing to measure")
+	}
+	if len(d.workerAttacks) >= d.numWorkers {
+		return fmt.Errorf("every worker is Byzantine; nothing to measure")
+	}
+	for i := range d.serverAttacks {
+		if i < 0 || i >= d.numServers {
+			return fmt.Errorf("server attack index %d outside population [0, %d)", i, d.numServers)
+		}
+	}
+	for j := range d.workerAttacks {
+		if j < 0 || j >= d.numWorkers {
+			return fmt.Errorf("worker attack index %d outside population [0, %d)", j, d.numWorkers)
+		}
+	}
+	if d.vanilla && d.runtime == Live {
+		return fmt.Errorf("the vanilla baseline is simulation-only; use the default Sim runtime")
+	}
+	if d.tcp && d.runtime != Live {
+		return fmt.Errorf("WithTCPTransport applies to the Live runtime only")
+	}
+	return nil
+}
+
+func (d *Deployment) quorumServers() int {
+	if d.vanilla {
+		return 1
+	}
+	if d.qServers > 0 {
+		return d.qServers
+	}
+	return igar.MinQuorum(d.fServers)
+}
+
+func (d *Deployment) quorumWorkers() int {
+	if d.vanilla {
+		return d.numWorkers
+	}
+	if d.qWorkers > 0 {
+		return d.qWorkers
+	}
+	return igar.MinQuorum(d.fWorkers)
+}
+
+// gradRule and paramRule resolve the registry names into engine rules.
+func (d *Deployment) gradRule() igar.Rule {
+	f := d.fWorkers
+	r, err := igar.FromName(d.ruleName, f)
+	if err != nil {
+		// normalize() validated the name; this cannot happen.
+		panic(err)
+	}
+	return r
+}
+
+func (d *Deployment) paramRule() igar.Rule {
+	r, err := igar.FromName(d.paramRuleName, d.fServers)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Runtime returns the runner the deployment executes under.
+func (d *Deployment) Runtime() Runner { return d.runtime }
+
+// Run executes the deployment under its configured runtime (Sim unless
+// WithRuntime changed it). The context cancels the run: the simulator
+// checks it between steps, the live runtime tears the network down.
+func (d *Deployment) Run(ctx context.Context) (*Result, error) {
+	return d.runtime.Run(ctx, d)
+}

@@ -1,0 +1,269 @@
+package guanyu_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/guanyu"
+)
+
+// quickOpts is the shared small deployment both runtimes execute: 6 servers
+// (1 declared Byzantine), 6 workers (1 declared Byzantine, 1 actually
+// Byzantine), blob workload.
+func quickOpts(extra ...guanyu.Option) []guanyu.Option {
+	opts := []guanyu.Option{
+		guanyu.WithWorkload(guanyu.BlobWorkload(600, 7)),
+		guanyu.WithServers(6, 1),
+		guanyu.WithWorkers(6, 1),
+		guanyu.WithRule("multi-krum"),
+		guanyu.WithWorkerAttack(5, guanyu.SignFlip{Scale: 10}),
+		guanyu.WithSteps(25),
+		guanyu.WithBatch(8),
+		guanyu.WithLR(guanyu.InverseTimeLR(0.2, 100)),
+		guanyu.WithSeed(11),
+	}
+	return append(opts, extra...)
+}
+
+func TestNewRequiresWorkload(t *testing.T) {
+	if _, err := guanyu.New(); err == nil || !strings.Contains(err.Error(), "workload") {
+		t.Fatalf("missing workload: got %v", err)
+	}
+}
+
+func TestNewValidatesTopology(t *testing.T) {
+	base := guanyu.WithWorkload(guanyu.BlobWorkload(200, 1))
+	cases := map[string][]guanyu.Option{
+		"servers below 3f+3":  {base, guanyu.WithServers(5, 1)},
+		"workers below 3f+3":  {base, guanyu.WithWorkers(17, 5)},
+		"quorum above n-f":    {base, guanyu.WithServers(6, 1), guanyu.WithQuorums(6, 0)},
+		"unknown rule":        {base, guanyu.WithRule("no-such-rule")},
+		"unknown param rule":  {base, guanyu.WithParamRule("no-such-rule")},
+		"zero steps":          {base, guanyu.WithSteps(0)},
+		"vanilla live":        {base, guanyu.WithVanilla(), guanyu.WithRuntime(guanyu.Live)},
+		"tcp without live":    {base, guanyu.WithTCPTransport()},
+		"attack out of range": {base, guanyu.WithWorkerAttack(99, guanyu.Zero{})},
+		"all servers byz": {base, guanyu.WithServers(6, 1),
+			guanyu.WithAttackedServers(6, func(int) guanyu.Attack { return guanyu.Zero{} })},
+	}
+	for name, opts := range cases {
+		if _, err := guanyu.New(opts...); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNewAppliesPaperDefaults(t *testing.T) {
+	d, err := guanyu.New(guanyu.WithWorkload(guanyu.BlobWorkload(200, 1)))
+	if err != nil {
+		t.Fatalf("paper-scale defaults rejected: %v", err)
+	}
+	if d.Runtime() != guanyu.Sim {
+		t.Fatalf("default runtime = %v, want Sim", d.Runtime())
+	}
+}
+
+// TestSimAndLiveRunTheSameBuilder is the façade's core promise: one
+// deployment description, two runtimes.
+func TestSimAndLiveRunTheSameBuilder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full deployments")
+	}
+	for _, rt := range []guanyu.Runner{guanyu.Sim, guanyu.Live} {
+		d, err := guanyu.New(quickOpts(guanyu.WithRuntime(rt), guanyu.WithTimeout(2*time.Minute))...)
+		if err != nil {
+			t.Fatalf("%s: %v", rt, err)
+		}
+		res, err := d.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", rt, err)
+		}
+		if res.Runtime != rt.String() {
+			t.Errorf("%s: result runtime %q", rt, res.Runtime)
+		}
+		if len(res.Final) == 0 || !guanyu.IsFinite(res.Final) {
+			t.Errorf("%s: bad final vector (len %d)", rt, len(res.Final))
+		}
+		if res.FinalAccuracy < 0.5 {
+			t.Errorf("%s: final accuracy %.3f, want ≥ 0.5 despite 1 Byzantine worker",
+				rt, res.FinalAccuracy)
+		}
+		if rt == guanyu.Sim && (res.Curve == nil || len(res.Curve.Points) == 0) {
+			t.Errorf("sim: no convergence curve")
+		}
+		if rt == guanyu.Live && res.WallTime <= 0 {
+			t.Errorf("live: no wall time recorded")
+		}
+	}
+}
+
+func TestSimIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two simulations")
+	}
+	run := func() *guanyu.Result {
+		d, err := guanyu.New(quickOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Final) != len(b.Final) {
+		t.Fatalf("dimension mismatch: %d vs %d", len(a.Final), len(b.Final))
+	}
+	for i := range a.Final {
+		if a.Final[i] != b.Final[i] {
+			t.Fatalf("coordinate %d differs: %v vs %v", i, a.Final[i], b.Final[i])
+		}
+	}
+}
+
+func TestDeploymentIsReusable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two simulations")
+	}
+	d, err := guanyu.New(quickOpts(guanyu.WithSteps(10))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.FinalAccuracy != r2.FinalAccuracy {
+		t.Fatalf("re-running a deployment diverged: %v vs %v", r1.FinalAccuracy, r2.FinalAccuracy)
+	}
+}
+
+func TestRunHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, rt := range []guanyu.Runner{guanyu.Sim, guanyu.Live} {
+		d, err := guanyu.New(quickOpts(guanyu.WithRuntime(rt), guanyu.WithTimeout(time.Minute))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Run(ctx); err == nil {
+			t.Errorf("%s: cancelled run returned nil error", rt)
+		}
+	}
+}
+
+func TestVanillaBaselineThroughBuilder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	d, err := guanyu.New(
+		guanyu.WithWorkload(guanyu.BlobWorkload(600, 3)),
+		guanyu.WithVanilla(),
+		guanyu.WithOptimizedRuntime(),
+		guanyu.WithWorkers(6, 0),
+		guanyu.WithSteps(20),
+		guanyu.WithBatch(8),
+		guanyu.WithLR(guanyu.InverseTimeLR(0.2, 100)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve == nil || !strings.Contains(res.Curve.Name, "vanilla") {
+		t.Fatalf("vanilla curve name: %+v", res.Curve)
+	}
+}
+
+// TestLiveTCPThroughBuilder runs the same builder deployment over real
+// loopback sockets.
+func TestLiveTCPThroughBuilder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots 12 TCP nodes")
+	}
+	d, err := guanyu.New(quickOpts(
+		guanyu.WithRuntime(guanyu.Live),
+		guanyu.WithTCPTransport(),
+		guanyu.WithSteps(8),
+		guanyu.WithTimeout(2*time.Minute),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ServerParams) == 0 {
+		t.Fatal("no honest server results")
+	}
+	if !guanyu.IsFinite(res.Final) {
+		t.Fatal("non-finite final parameters")
+	}
+}
+
+// TestLiveTCPCancellationMidRun cancels a TCP deployment mid-run: the
+// watcher and the deferred cleanup then race to close the same sockets,
+// which must be safe, and the run must surface the context's error.
+func TestLiveTCPCancellationMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots 12 TCP nodes")
+	}
+	d, err := guanyu.New(quickOpts(
+		guanyu.WithRuntime(guanyu.Live),
+		guanyu.WithTCPTransport(),
+		guanyu.WithSteps(500),
+		guanyu.WithTimeout(30*time.Second),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	if _, err := d.Run(ctx); err == nil {
+		t.Fatal("cancelled TCP run returned nil error")
+	}
+}
+
+// TestSuspicionSurfacesByzantineWorker exercises the accountability path
+// through the façade.
+func TestSuspicionSurfacesByzantineWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a live deployment")
+	}
+	susp := guanyu.NewSuspicion()
+	lat := guanyu.NewLatencyModel(200e-6, 1.0, 0, 13)
+	d, err := guanyu.New(quickOpts(
+		guanyu.WithRuntime(guanyu.Live),
+		guanyu.WithWorkers(9, 2),
+		guanyu.WithWorkerAttack(7, guanyu.ScaledNorm{Factor: 1e5}),
+		guanyu.WithSuspicion(susp),
+		guanyu.WithDelay(lat.DelayFunc(0, 1)),
+		guanyu.WithTimeout(2*time.Minute),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ranking := susp.Ranking()
+	if len(ranking) == 0 {
+		t.Fatal("no suspicion observations")
+	}
+	// Workers 5 (from quickOpts) and 7 are the actually Byzantine ones.
+	if got := ranking[0].Sender; got != guanyu.WorkerID(7) && got != guanyu.WorkerID(5) {
+		t.Logf("ranking: %+v", ranking)
+		t.Errorf("top suspect = %s, want a Byzantine worker (wrk5 or wrk7)", got)
+	}
+}

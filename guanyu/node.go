@@ -1,0 +1,240 @@
+package guanyu
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	igar "repro/internal/gar"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+func serverID(i int) string { return cluster.ServerID(i) }
+func workerID(j int) string { return cluster.WorkerID(j) }
+
+// NodeConfig describes ONE node of a multi-process deployment: a single
+// parameter server or worker running in its own OS process over TCP, so a
+// full deployment is N independent processes exactly as on the paper's
+// testbed. Every process deterministically regenerates the same workload
+// and model initialisation from Seed, so no data distribution step is
+// needed.
+type NodeConfig struct {
+	// Role is "server" or "worker".
+	Role string
+	// ID is this node's network identifier; the naming convention ps<i> /
+	// wrk<j> (see ServerID, WorkerID) assigns roles within Peers.
+	ID string
+	// Listen is the address to bind ("127.0.0.1:0" for an ephemeral port).
+	Listen string
+	// Peers maps every node ID of the deployment — this one included — to
+	// its address.
+	Peers map[string]string
+	// FServers and FWorkers are the declared Byzantine counts.
+	FServers, FWorkers int
+	// Steps and Batch drive training.
+	Steps, Batch int
+	// Workload overrides the default workload; when nil every process
+	// regenerates ImageWorkload(Examples, Seed).
+	Workload *Workload
+	// Examples sizes the default synthetic workload (default 1200).
+	Examples int
+	// Seed is the deployment seed, shared by all processes.
+	Seed uint64
+	// Attack, when non-nil, makes THIS node Byzantine.
+	Attack Attack
+	// Timeout bounds each quorum wait (default 5 minutes).
+	Timeout time.Duration
+	// LR overrides the learning-rate schedule (servers only; default
+	// InverseTimeLR(0.05, 300)).
+	LR Schedule
+	// OnListen, when non-nil, is invoked with the bound address once the
+	// node is reachable — the hook deployment scripts use to publish
+	// address books.
+	OnListen func(addr string)
+}
+
+// NodeResult is the outcome of one node's run.
+type NodeResult struct {
+	// ID and Role echo the configuration.
+	ID, Role string
+	// Steps is the number of learning steps completed.
+	Steps int
+	// Theta is the server's final parameter vector (nil for workers).
+	Theta []float64
+	// Model is the evaluation model carrying Theta (nil for workers).
+	Model *Model
+	// Accuracy is Model's local test accuracy (servers only).
+	Accuracy float64
+}
+
+// SplitPeers partitions a deployment address book into server and worker
+// IDs by the ps*/wrk* naming convention, sorted for determinism.
+func SplitPeers(peers map[string]string) (servers, workers []string, err error) {
+	for id := range peers {
+		switch {
+		case strings.HasPrefix(id, "ps"):
+			servers = append(servers, id)
+		case strings.HasPrefix(id, "wrk"):
+			workers = append(workers, id)
+		default:
+			return nil, nil, fmt.Errorf("guanyu: peer id %q matches neither ps* nor wrk*", id)
+		}
+	}
+	sort.Strings(servers)
+	sort.Strings(workers)
+	return servers, workers, nil
+}
+
+// RunNode executes one node of a multi-process TCP deployment to
+// completion. Cancelling ctx tears down the node's sockets, unblocking its
+// quorum waits.
+func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
+	if cfg.Role != "server" && cfg.Role != "worker" {
+		return nil, fmt.Errorf("guanyu: node role must be server or worker, got %q", cfg.Role)
+	}
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("guanyu: node ID is required")
+	}
+	if _, ok := cfg.Peers[cfg.ID]; !ok {
+		return nil, fmt.Errorf("guanyu: peers must include this node's id %q", cfg.ID)
+	}
+	if cfg.Steps <= 0 || cfg.Batch <= 0 {
+		return nil, fmt.Errorf("guanyu: node Steps and Batch must be positive (got %d, %d)",
+			cfg.Steps, cfg.Batch)
+	}
+	servers, workers, err := SplitPeers(cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	if err := igar.CheckDeployment("server", len(servers), cfg.FServers); err != nil {
+		return nil, err
+	}
+	if err := igar.CheckDeployment("worker", len(workers), cfg.FWorkers); err != nil {
+		return nil, err
+	}
+
+	w := cfg.Workload
+	if w == nil {
+		examples := cfg.Examples
+		if examples <= 0 {
+			examples = 1200
+		}
+		wl := ImageWorkload(examples, cfg.Seed)
+		w = &wl
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Minute
+	}
+	lr := cfg.LR
+	if lr == nil {
+		lr = InverseTimeLR(0.05, 300)
+	}
+	listen := cfg.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+
+	node, err := transport.ListenTCP(cfg.ID, listen, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer node.Close()
+	for id, addr := range cfg.Peers {
+		if id != cfg.ID {
+			if err := node.AddPeer(id, addr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.OnListen != nil {
+		cfg.OnListen(node.Addr())
+	}
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			node.Close()
+		case <-watchDone:
+		}
+	}()
+
+	res := &NodeResult{ID: cfg.ID, Role: cfg.Role, Steps: cfg.Steps}
+	switch cfg.Role {
+	case "server":
+		peersOnly := make([]string, 0, len(servers)-1)
+		for _, id := range servers {
+			if id != cfg.ID {
+				peersOnly = append(peersOnly, id)
+			}
+		}
+		theta, err := cluster.RunServer(node, cluster.ServerConfig{
+			ID: cfg.ID, Workers: workers, Peers: peersOnly,
+			Init:            w.Model.ParamVector(),
+			GradRule:        igar.MultiKrum{F: cfg.FWorkers},
+			ParamRule:       igar.Median{},
+			QuorumGradients: igar.MinQuorum(cfg.FWorkers),
+			QuorumParams:    igar.MinQuorum(cfg.FServers),
+			Steps:           cfg.Steps,
+			LR:              lr,
+			Timeout:         timeout,
+			Attack:          cfg.Attack,
+		})
+		if err != nil {
+			return nil, wrapCancelled(ctx, err)
+		}
+		eval := w.Model.Clone()
+		if err := eval.SetParamVector(theta); err != nil {
+			return nil, err
+		}
+		res.Theta = theta
+		res.Model = eval
+		if w.Test != nil {
+			res.Accuracy = Accuracy(eval, w.Test.X, w.Test.Labels)
+		}
+	case "worker":
+		err := cluster.RunWorker(node, cluster.WorkerConfig{
+			ID: cfg.ID, Servers: servers,
+			Model:        w.Model.Clone(),
+			Sampler:      dataset.NewSampler(w.Train, tensor.NewRNG(cfg.Seed^hashID(cfg.ID))),
+			Batch:        cfg.Batch,
+			ParamRule:    igar.Median{},
+			QuorumParams: igar.MinQuorum(cfg.FServers),
+			Steps:        cfg.Steps,
+			Timeout:      timeout,
+			Attack:       cfg.Attack,
+		})
+		if err != nil {
+			return nil, wrapCancelled(ctx, err)
+		}
+	}
+	return res, nil
+}
+
+// wrapCancelled prefers the context's error over the node error it caused.
+func wrapCancelled(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("guanyu: node cancelled: %w", cerr)
+	}
+	return err
+}
+
+// HashID derives a per-node seed offset from its name (FNV-1a), so
+// deployment tools arm per-node generators the same way the node runtime
+// does.
+func HashID(s string) uint64 { return hashID(s) }
+
+func hashID(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

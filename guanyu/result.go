@@ -1,0 +1,73 @@
+package guanyu
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Series is an accuracy-over-training curve; Point is one sample of it.
+// (Re-exported from the measurement layer so results are self-contained.)
+type Series = stats.Series
+
+// Point is one sample of a Series.
+type Point = stats.Point
+
+// AlignmentRecord is one Table-2 probe: the cosine alignment between honest
+// servers' parameter vectors at a step.
+type AlignmentRecord = stats.AlignmentRecord
+
+// Result is the outcome of one deployment run, under either runtime.
+// Sim-only fields are zero after Live runs and vice versa.
+type Result struct {
+	// Runtime names the runner that produced the result ("sim" or "live").
+	Runtime string
+	// Final is the coordinate-wise median of the honest servers' final
+	// parameter vectors — the model θ̄ the paper's convergence statement
+	// (Eq. 1) is about.
+	Final []float64
+	// FinalAccuracy is the test accuracy of Final (0 when the workload has
+	// no test set).
+	FinalAccuracy float64
+	// Updates is the number of model updates performed.
+	Updates int
+
+	// Curve is the accuracy-vs-(updates, virtual time) series. Sim only.
+	Curve *Series
+	// Alignments are the Table-2 probe records (see WithAlignmentProbe).
+	// Sim only.
+	Alignments []AlignmentRecord
+	// VirtualTime is the total virtual seconds consumed. Sim only.
+	VirtualTime float64
+
+	// ServerParams maps honest server index → final parameter vector.
+	// Live only.
+	ServerParams map[int][]float64
+	// WallTime is the real elapsed time of the run. Live only.
+	WallTime time.Duration
+}
+
+// CurveTable renders the convergence curve as the experiment harness's
+// plain-text table ("" when the run produced no curve). timeAxis selects
+// virtual time instead of update count as the x column.
+func (r *Result) CurveTable(title string, timeAxis bool) string {
+	if r.Curve == nil {
+		return ""
+	}
+	xLabel := "updates"
+	if timeAxis {
+		xLabel = "time(s)"
+	}
+	return stats.FormatSeriesTable(title, xLabel, []*Series{r.Curve}, timeAxis)
+}
+
+// FormatCurves renders several runs' curves side by side, the way the
+// paper's figure legends group systems.
+func FormatCurves(title, xLabel string, curves []*Series, timeAxis bool) string {
+	return stats.FormatSeriesTable(title, xLabel, curves, timeAxis)
+}
+
+// FormatAlignments renders Table-2 probe records.
+func FormatAlignments(records []AlignmentRecord) string {
+	return stats.FormatAlignmentTable(records)
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -151,6 +152,13 @@ type LiveResult struct {
 // servers' final models. Every node runs in its own goroutine; the call
 // blocks until all have finished or one fails.
 func RunLive(cfg LiveConfig) (*LiveResult, error) {
+	return RunLiveContext(context.Background(), cfg)
+}
+
+// RunLiveContext is RunLive with cancellation: when ctx is cancelled the
+// in-process network is torn down, which unblocks every node's quorum wait
+// and makes the run return promptly with ctx's error.
+func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 	if !cfg.SkipValidation {
 		if err := cfg.Validate(); err != nil {
 			return nil, err
@@ -162,6 +170,15 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 
 	network := transport.NewChanNetwork(cfg.Delay)
 	defer network.Close()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			network.Close()
+		case <-watchDone:
+		}
+	}()
 
 	rng := tensor.NewRNG(cfg.Seed)
 	theta0 := cfg.Model.ParamVector()
@@ -269,6 +286,9 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 	}
 
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: run cancelled: %w", err)
+	}
 	if len(runErrs) > 0 {
 		return nil, fmt.Errorf("cluster: run failed: %w (and %d more)", runErrs[0], len(runErrs)-1)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -42,6 +43,12 @@ type Result struct {
 // arbitrarily fast covert network (Figure 1 of the paper), so giving its
 // traffic zero latency is the worst case for the honest quorums.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked once per
+// protocol step, so a cancelled simulation returns within one step's work.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -133,6 +140,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	for t := 0; t < cfg.Steps; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: run cancelled at step %d: %w", t, err)
+		}
 		eta := lr(t)
 
 		// ---- Phase 1: servers → workers, median, gradient computation ----

@@ -462,16 +462,14 @@ type GARAblationRow struct {
 // GARAblation swaps the server-side rule while keeping 5 Byzantine workers,
 // showing which rules actually confer resilience (mean must fail).
 func GARAblation(s Scale) ([]GARAblationRow, error) {
-	rules := []gar.Rule{
-		gar.Mean{},
-		gar.Median{},
-		gar.MultiKrum{F: 5},
-		gar.TrimmedMean{F: 5},
-		gar.GeoMed{},
-		gar.MDA{F: 5},
-	}
-	rows := make([]GARAblationRow, 0, len(rules))
-	for _, rule := range rules {
+	names := []string{"mean", "coordinate-median", "multi-krum", "trimmed-mean",
+		"geometric-median", "mda"}
+	rows := make([]GARAblationRow, 0, len(names))
+	for _, name := range names {
+		rule, err := gar.FromName(name, 5)
+		if err != nil {
+			return nil, err
+		}
 		cfg := core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), 5, 0, s.Steps, s.Batch, s.Seed)
 		cfg.Rule = rule
 		cfg = core.WithByzantineWorkers(cfg, 5, func(i int) attack.Attack {

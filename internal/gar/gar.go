@@ -90,14 +90,9 @@ func (Median) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
 	if err := checkInputs(inputs); err != nil {
 		return nil, err
 	}
-	d := len(inputs[0])
-	out := make(tensor.Vector, d)
-	col := make([]float64, len(inputs))
-	for i := 0; i < d; i++ {
-		for j, v := range inputs {
-			col[j] = v[i]
-		}
-		out[i] = medianInPlace(col)
+	out := make(tensor.Vector, len(inputs[0]))
+	if err := MedianInto(out, make([]float64, len(inputs)), inputs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,64 @@
+package gar
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// In-place aggregation kernels. These are the allocation-free cores behind
+// Mean and Median; the public guanyu/gar package calls them directly so its
+// Aggregate(ctx, dst, inputs) hot path performs no per-call allocations.
+
+// checkInto validates inputs and that dst matches their dimension.
+func checkInto(dst tensor.Vector, inputs []tensor.Vector) error {
+	if err := checkInputs(inputs); err != nil {
+		return err
+	}
+	if len(dst) != len(inputs[0]) {
+		return fmt.Errorf("gar: destination has dimension %d, inputs have %d",
+			len(dst), len(inputs[0]))
+	}
+	return nil
+}
+
+// MeanInto writes the arithmetic mean of inputs into dst. dst must have the
+// inputs' dimension; it may alias one of the inputs.
+func MeanInto(dst tensor.Vector, inputs []tensor.Vector) error {
+	if err := checkInto(dst, inputs); err != nil {
+		return err
+	}
+	inv := 1 / float64(len(inputs))
+	first := inputs[0]
+	for i := range dst {
+		dst[i] = first[i]
+	}
+	for _, v := range inputs[1:] {
+		for i, x := range v {
+			dst[i] += x
+		}
+	}
+	tensor.ScaleInPlace(dst, inv)
+	return nil
+}
+
+// MedianInto writes the coordinate-wise median of inputs into dst, using
+// col (len(col) ≥ len(inputs)) as scratch. Each coordinate's column is
+// copied out before dst is written, so dst may alias one of the inputs.
+func MedianInto(dst tensor.Vector, col []float64, inputs []tensor.Vector) error {
+	if err := checkInto(dst, inputs); err != nil {
+		return err
+	}
+	n := len(inputs)
+	if len(col) < n {
+		return fmt.Errorf("gar: median scratch has length %d, need %d", len(col), n)
+	}
+	col = col[:n]
+	for i := range dst {
+		for j, v := range inputs {
+			col[j] = v[i]
+		}
+		dst[i] = medianInPlace(col)
+	}
+	return nil
+}

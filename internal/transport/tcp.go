@@ -26,8 +26,9 @@ type TCPNode struct {
 	accepted map[net.Conn]struct{}
 	box      *Mailbox
 
-	closed  chan struct{}
-	readers sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	readers   sync.WaitGroup
 }
 
 var _ Endpoint = (*TCPNode)(nil)
@@ -105,13 +106,15 @@ func (n *TCPNode) Recv(timeout time.Duration) (Message, bool) {
 }
 
 // Close implements Endpoint: it stops the listener, closes all connections,
-// and waits for reader goroutines to exit.
+// and waits for reader goroutines to exit. Safe for concurrent callers (a
+// cancellation watcher may race a deferred cleanup).
 func (n *TCPNode) Close() error {
-	select {
-	case <-n.closed:
-		return nil
-	default:
-	}
+	var err error
+	n.closeOnce.Do(func() { err = n.close() })
+	return err
+}
+
+func (n *TCPNode) close() error {
 	close(n.closed)
 	err := n.ln.Close()
 	n.mu.Lock()
