@@ -9,7 +9,15 @@
 //
 // The macro benchmarks report domain metrics via b.ReportMetric (final
 // accuracy, overhead percentages, drift ratios) so `go test -bench` output
-// doubles as the measured column of EXPERIMENTS.md.
+// doubles as the measured column of EXPERIMENTS.md (see its "Measured
+// column" section; the "Experiment index" section maps each benchmark to
+// its experiment id and the paper's expected value).
+//
+// The kernel micro-benchmarks come in Serial/Parallel pairs pinned to
+// parallelism 1 and the machine's CPU count, so the speedup of the worker
+// pool is measured, not claimed — and the unsuffixed originals keep
+// measuring the ambient default. Parallelism never changes results (see
+// guanyu.SetParallelism), only wall-clock.
 package repro_test
 
 import (
@@ -214,15 +222,65 @@ func benchRule(b *testing.B, name string, f, n, d int) {
 	}
 }
 
+// withParallelism pins the kernel worker count for one benchmark: 1 for the
+// Serial variants, 0 (= all CPUs) for the Parallel variants. The unsuffixed
+// benchmarks run at the ambient default.
+func withParallelism(b *testing.B, n int) {
+	b.Helper()
+	prev := guanyu.SetParallelism(n)
+	b.Cleanup(func() { guanyu.SetParallelism(prev) })
+}
+
 func BenchmarkGARMean13x2726(b *testing.B)        { benchRule(b, "mean", 0, 13, 2726) }
 func BenchmarkGARMedian13x2726(b *testing.B)      { benchRule(b, "coordinate-median", 0, 13, 2726) }
 func BenchmarkGARMultiKrum13x2726(b *testing.B)   { benchRule(b, "multi-krum", 5, 13, 2726) }
 func BenchmarkGARTrimmedMean13x2726(b *testing.B) { benchRule(b, "trimmed-mean", 5, 13, 2726) }
 func BenchmarkGARBulyan23x2726(b *testing.B)      { benchRule(b, "bulyan", 5, 23, 2726) }
 
-// BenchmarkGradientTinyConvNet measures the worker-side gradient estimation
+// Serial/parallel pairs for the aggregation rules at the paper's fan-in.
+func BenchmarkGARMedian13x2726Serial(b *testing.B) {
+	withParallelism(b, 1)
+	benchRule(b, "coordinate-median", 0, 13, 2726)
+}
+
+func BenchmarkGARMedian13x2726Parallel(b *testing.B) {
+	withParallelism(b, 0)
+	benchRule(b, "coordinate-median", 0, 13, 2726)
+}
+
+func BenchmarkGARMultiKrum13x2726Serial(b *testing.B) {
+	withParallelism(b, 1)
+	benchRule(b, "multi-krum", 5, 13, 2726)
+}
+
+func BenchmarkGARMultiKrum13x2726Parallel(b *testing.B) {
+	withParallelism(b, 0)
+	benchRule(b, "multi-krum", 5, 13, 2726)
+}
+
+func BenchmarkGARTrimmedMean13x2726Serial(b *testing.B) {
+	withParallelism(b, 1)
+	benchRule(b, "trimmed-mean", 5, 13, 2726)
+}
+
+func BenchmarkGARTrimmedMean13x2726Parallel(b *testing.B) {
+	withParallelism(b, 0)
+	benchRule(b, "trimmed-mean", 5, 13, 2726)
+}
+
+func BenchmarkGARBulyan23x2726Serial(b *testing.B) {
+	withParallelism(b, 1)
+	benchRule(b, "bulyan", 5, 23, 2726)
+}
+
+func BenchmarkGARBulyan23x2726Parallel(b *testing.B) {
+	withParallelism(b, 0)
+	benchRule(b, "bulyan", 5, 23, 2726)
+}
+
+// benchGradientTinyConvNet measures the worker-side gradient estimation
 // (batch of 16 on the harness CNN).
-func BenchmarkGradientTinyConvNet(b *testing.B) {
+func benchGradientTinyConvNet(b *testing.B) {
 	rng := tensor.NewRNG(9)
 	m := nn.NewTinyConvNet(rng, 10)
 	xs := make([][]float64, 16)
@@ -237,9 +295,19 @@ func BenchmarkGradientTinyConvNet(b *testing.B) {
 	}
 }
 
-// BenchmarkCIFARNetForward measures one forward pass of the full Table-1
+func BenchmarkGradientTinyConvNet(b *testing.B) { benchGradientTinyConvNet(b) }
+func BenchmarkGradientTinyConvNetSerial(b *testing.B) {
+	withParallelism(b, 1)
+	benchGradientTinyConvNet(b)
+}
+func BenchmarkGradientTinyConvNetParallel(b *testing.B) {
+	withParallelism(b, 0)
+	benchGradientTinyConvNet(b)
+}
+
+// benchCIFARNetForward measures one forward pass of the full Table-1
 // network (1.75M parameters).
-func BenchmarkCIFARNetForward(b *testing.B) {
+func benchCIFARNetForward(b *testing.B) {
 	rng := tensor.NewRNG(10)
 	m := nn.NewCIFARNet(rng)
 	x := rng.NormVec(make([]float64, 3*32*32), 0, 1)
@@ -248,6 +316,10 @@ func BenchmarkCIFARNetForward(b *testing.B) {
 		m.Forward(x)
 	}
 }
+
+func BenchmarkCIFARNetForward(b *testing.B)         { benchCIFARNetForward(b) }
+func BenchmarkCIFARNetForwardSerial(b *testing.B)   { withParallelism(b, 1); benchCIFARNetForward(b) }
+func BenchmarkCIFARNetForwardParallel(b *testing.B) { withParallelism(b, 0); benchCIFARNetForward(b) }
 
 // BenchmarkAttackCorrupt measures the per-message cost of the heaviest
 // attack (fresh Gaussian vector per receiver).

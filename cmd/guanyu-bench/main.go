@@ -31,14 +31,16 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("guanyu-bench", flag.ContinueOnError)
 	var (
-		exp  = fs.String("exp", "all", "experiment id or 'all'")
-		full = fs.Bool("full", false, "use the larger (slower) scale")
-		list = fs.Bool("list", false, "list experiment ids and exit")
-		seed = fs.Uint64("seed", 42, "experiment seed")
+		exp      = fs.String("exp", "all", "experiment id or 'all'")
+		full     = fs.Bool("full", false, "use the larger (slower) scale")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		seed     = fs.Uint64("seed", 42, "experiment seed")
+		parallel = fs.Int("parallel", 0, "worker count for kernels and concurrent curves (0 = all CPUs, 1 = serial; results are identical at any setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	guanyu.SetParallelism(*parallel)
 	if *list {
 		for _, id := range guanyu.ExperimentIDs() {
 			fmt.Fprintln(out, id)

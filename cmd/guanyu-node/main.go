@@ -71,10 +71,12 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		byzMode  = fs.String("byzantine", "", "make THIS node Byzantine: random | signflip | silent")
 		ckpt     = fs.String("checkpoint", "", "server only: write the final model here")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "per-quorum timeout")
+		parallel = fs.Int("parallel", 0, "kernel worker count for this node (0 = all CPUs, 1 = serial; results are identical at any setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	guanyu.SetParallelism(*parallel)
 	if *role != "server" && *role != "worker" {
 		return nil, fmt.Errorf("-role must be server or worker, got %q", *role)
 	}

@@ -44,10 +44,12 @@ func run(args []string, out io.Writer) error {
 		examples   = fs.Int("examples", 1500, "synthetic dataset size")
 		seed       = fs.Uint64("seed", 1, "run seed")
 		evalEvery  = fs.Int("eval-every", 10, "accuracy sampling period")
+		parallel   = fs.Int("parallel", 0, "kernel worker count (0 = all CPUs, 1 = serial; results are identical at any setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	guanyu.SetParallelism(*parallel)
 
 	opts := []guanyu.Option{
 		guanyu.WithWorkload(guanyu.ImageWorkload(*examples, *seed)),

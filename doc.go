@@ -19,8 +19,16 @@
 //	)
 //	res, _ := d.Run(context.Background())
 //
+// Every hot kernel executes on a shared, size-aware worker pool. The worker
+// count defaults to runtime.NumCPU() and is controlled by
+// guanyu.SetParallelism, the guanyu.WithParallelism deployment option, or
+// the -parallel flag each command accepts; parallelism never changes
+// results — chunk boundaries are size-derived and reductions fold in a
+// fixed order, so every setting is bit-identical to serial.
+//
 // The protocol implementation lives under internal/ (see DESIGN.md for the
 // system inventory), the runnable entry points under cmd/ and examples/,
 // and the benchmark harness regenerating every table and figure of the
-// paper's evaluation in bench_test.go at this root.
+// paper's evaluation in bench_test.go at this root — EXPERIMENTS.md indexes
+// the experiments, their benchmarks and the paper's expected values.
 package repro

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/guanyu"
 	"repro/guanyu/gar"
 )
 
@@ -60,20 +61,58 @@ func BenchmarkAggregateMedianZeroAlloc10k(b *testing.B) {
 
 // TestAggregateZeroAlloc runs the same assertion under `go test` so the
 // zero-alloc property is enforced by the tier-1 suite, not only when
-// benchmarks are invoked.
+// benchmarks are invoked. It asserts the property at parallelism 1 AND at
+// parallelism 4: the coordinate chunks of mean and coordinate-median
+// dispatch through a reusable worker-pool Runner precisely so the hot
+// aggregation loop stays allocation-free on multicore machines too.
 func TestAggregateZeroAlloc(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		prev := guanyu.SetParallelism(workers)
+		for _, name := range []string{"mean", "coordinate-median"} {
+			r := gar.MustNew(name, gar.Params{F: 5, Inputs: allocN})
+			inputs := benchInputs()
+			dst := make([]float64, allocDim)
+			ctx := context.Background()
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := r.Aggregate(ctx, dst, inputs); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s (parallelism %d): Aggregate allocated %.1f times per run, want 0",
+					name, workers, allocs)
+			}
+		}
+		guanyu.SetParallelism(prev)
+	}
+}
+
+// TestAggregateBitIdenticalAcrossParallelism pins the determinism contract
+// of the public rules: any worker count produces exactly the serial result.
+func TestAggregateBitIdenticalAcrossParallelism(t *testing.T) {
+	ctx := context.Background()
 	for _, name := range []string{"mean", "coordinate-median"} {
-		r := gar.MustNew(name, gar.Params{F: 5, Inputs: allocN})
 		inputs := benchInputs()
-		dst := make([]float64, allocDim)
-		ctx := context.Background()
-		allocs := testing.AllocsPerRun(10, func() {
-			if _, err := r.Aggregate(ctx, dst, inputs); err != nil {
+		prev := guanyu.SetParallelism(1)
+		r := gar.MustNew(name, gar.Params{F: 5, Inputs: allocN})
+		want := make([]float64, allocDim)
+		if _, err := r.Aggregate(ctx, want, inputs); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			guanyu.SetParallelism(workers)
+			r := gar.MustNew(name, gar.Params{F: 5, Inputs: allocN})
+			got := make([]float64, allocDim)
+			if _, err := r.Aggregate(ctx, got, inputs); err != nil {
 				t.Fatal(err)
 			}
-		})
-		if allocs != 0 {
-			t.Errorf("%s: Aggregate allocated %.1f times per run, want 0", name, allocs)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: parallelism %d changed coordinate %d: %v vs %v",
+						name, workers, i, got[i], want[i])
+				}
+			}
 		}
+		guanyu.SetParallelism(prev)
 	}
 }

@@ -2,14 +2,26 @@ package gar
 
 import igar "repro/internal/gar"
 
-// The theoretical preconditions of GuanYu (Section 3.2 of the paper),
-// re-exported so deployment tooling outside this module can validate
-// topologies against the same statement of the theory:
+// This file is the authoritative statement of GuanYu's legality bounds
+// (Section 3.2 of the paper). Every other statement in the repository —
+// the internal/gar validators and registry, the deployment builder, and
+// DESIGN.md — enforces or quotes exactly these bounds:
 //
 //	n  ≥ 3f+3    parameter servers, f Byzantine
 //	n̄  ≥ 3f̄+3    workers, f̄ Byzantine
 //	2f+3 ≤ q ≤ n−f      quorum for the coordinate-wise median M
 //	2f̄+3 ≤ q̄ ≤ n̄−f̄      quorum for Multi-Krum F
+//
+// and, per aggregation rule, the input-cardinality preconditions the
+// registry checks at construction (see MinInputs):
+//
+//	n ≥ 2f+3    krum, multi-krum
+//	n ≥ 2f+1    trimmed-mean
+//	n ≥ 4f+3    bulyan
+//	n ≥ f+1     mda
+//
+// The helpers are re-exported so deployment tooling outside this module
+// can validate topologies against the same statement of the theory.
 
 // CheckDeployment verifies the population bound n ≥ 3f+3 for one node role.
 func CheckDeployment(role string, n, f int) error {

@@ -18,9 +18,11 @@
 // tables and deployment builders select rules without switch statements.
 // The registry constructor is also where the theory's legality bounds
 // surface: a rule built for declared Byzantine count f with a known input
-// cardinality or node population fails construction when the bounds
-// (e.g. n ≥ 2f+3 for the Krum family, deployment bound n ≥ 3f+3) are
-// violated.
+// cardinality or node population fails construction when the bounds are
+// violated. The authoritative statement of the bounds lives in bounds.go:
+// rule inputs n ≥ 2f+3 (krum, multi-krum), n ≥ 2f+1 (trimmed-mean),
+// n ≥ 4f+3 (bulyan), n ≥ f+1 (mda); deployment populations n ≥ 3f+3;
+// quorums 2f+3 ≤ q ≤ n−f.
 package gar
 
 import (
@@ -31,6 +33,7 @@ import (
 	"sync"
 
 	igar "repro/internal/gar"
+	"repro/internal/parallel"
 )
 
 // Rule is a gradient aggregation rule.
@@ -64,7 +67,8 @@ type Params struct {
 	// Inputs, when positive, is the cardinality of the input sets the rule
 	// will aggregate (the quorum). Construction fails when it violates the
 	// rule's precondition — n ≥ 2f+3 for krum/multi-krum, n ≥ 2f+1 for
-	// trimmed-mean, n ≥ 4f+3 for bulyan, n > f for mda.
+	// trimmed-mean, n ≥ 4f+3 for bulyan, n ≥ f+1 for mda (the authoritative
+	// statement lives in bounds.go).
 	Inputs int
 	// Deployment, when positive, is the node population the rule serves.
 	// Construction fails when it violates the paper's deployment bound
@@ -140,9 +144,9 @@ func New(name string, p Params) (Rule, error) {
 	}
 	switch name {
 	case "mean":
-		return &meanRule{}, nil
+		return newMeanRule(), nil
 	case "coordinate-median":
-		return &medianRule{}, nil
+		return newMedianRule(), nil
 	default:
 		return &adapted{name: name, rule: spec.New(p.F)}, nil
 	}
@@ -171,27 +175,65 @@ func prepareDst(dst []float64, inputs [][]float64) []float64 {
 	return dst
 }
 
-// meanRule is the allocation-free arithmetic mean.
-type meanRule struct{}
+// Coordinate-chunk grains of the zero-alloc rules, mirroring the internal
+// kernels: one chunk's compute must dominate pool-dispatch cost.
+const (
+	meanRuleGrain   = 1 << 12
+	medianRuleGrain = 1 << 10
+)
 
-func (meanRule) Name() string { return "mean" }
+// meanRule is the allocation-free arithmetic mean. Large dimensions are
+// aggregated in parallel coordinate chunks through a reusable
+// parallel.Runner, so the steady-state path stays zero-alloc at any
+// parallelism; per-coordinate addition order is fixed (input order), so the
+// result is bit-identical to serial.
+type meanRule struct {
+	dst    []float64
+	inputs [][]float64
+	runner *parallel.Runner
+}
 
-func (meanRule) Aggregate(ctx context.Context, dst []float64, inputs [][]float64) ([]float64, error) {
+func newMeanRule() *meanRule {
+	r := &meanRule{}
+	r.runner = parallel.NewRunner(func(_, lo, hi int) {
+		igar.MeanChunkInto(r.dst, r.inputs, lo, hi)
+	})
+	return r
+}
+
+func (*meanRule) Name() string { return "mean" }
+
+func (m *meanRule) Aggregate(ctx context.Context, dst []float64, inputs [][]float64) ([]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	dst = prepareDst(dst, inputs)
-	if err := igar.MeanInto(dst, inputs); err != nil {
+	if err := igar.CheckInto(dst, inputs); err != nil {
 		return nil, err
 	}
+	m.dst, m.inputs = dst, inputs
+	m.runner.Run(len(dst), meanRuleGrain)
+	m.dst, m.inputs = nil, nil
 	return dst, nil
 }
 
-// medianRule is the allocation-free coordinate-wise median. It reuses an
-// internal column scratch across calls (grown on demand), which is what
-// makes it single-goroutine only.
+// medianRule is the allocation-free coordinate-wise median. It reuses
+// per-worker column scratch across calls (grown on demand) and dispatches
+// coordinate chunks through a reusable parallel.Runner — which is what makes
+// it zero-alloc in steady state and single-goroutine only.
 type medianRule struct {
-	col []float64
+	dst    []float64
+	inputs [][]float64
+	cols   [][]float64
+	runner *parallel.Runner
+}
+
+func newMedianRule() *medianRule {
+	r := &medianRule{}
+	r.runner = parallel.NewRunner(func(w, lo, hi int) {
+		igar.MedianChunkInto(r.dst, r.cols[w], r.inputs, lo, hi)
+	})
+	return r
 }
 
 func (*medianRule) Name() string { return "coordinate-median" }
@@ -201,12 +243,25 @@ func (m *medianRule) Aggregate(ctx context.Context, dst []float64, inputs [][]fl
 		return nil, err
 	}
 	dst = prepareDst(dst, inputs)
-	if cap(m.col) < len(inputs) {
-		m.col = make([]float64, len(inputs))
-	}
-	if err := igar.MedianInto(dst, m.col[:len(inputs)], inputs); err != nil {
+	if err := igar.CheckInto(dst, inputs); err != nil {
 		return nil, err
 	}
+	n := len(inputs)
+	// Single read of the worker count: the knob can move concurrently
+	// (Deployment.Run restores it when finishing), and a second read below
+	// it could shrink and make the grow length negative.
+	if w := parallel.Workers(); len(m.cols) < w {
+		m.cols = append(m.cols, make([][]float64, w-len(m.cols))...)
+	}
+	for w := range m.cols {
+		if cap(m.cols[w]) < n {
+			m.cols[w] = make([]float64, n)
+		}
+		m.cols[w] = m.cols[w][:n]
+	}
+	m.dst, m.inputs = dst, inputs
+	m.runner.RunMax(len(dst), medianRuleGrain, len(m.cols))
+	m.dst, m.inputs = nil, nil
 	return dst, nil
 }
 

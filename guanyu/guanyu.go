@@ -78,6 +78,9 @@ type Deployment struct {
 	delay     DelayFunc
 	suspicion *Suspicion
 	tcp       bool
+
+	parallelism    int
+	parallelismSet bool
 }
 
 // New builds and validates a deployment from the given options. Topology
@@ -154,6 +157,18 @@ func (d *Deployment) normalize() error {
 			return err
 		}
 	}
+	// The selected rules must be legal at the quorums they will aggregate
+	// (e.g. Bulyan needs n ≥ 4f+3 inputs, more than the minimum gradient
+	// quorum provides) — checked here so a validated Deployment cannot fail
+	// its first step on a rule precondition.
+	if min, err := igar.MinInputs(d.ruleName, d.fWorkers); err == nil && d.quorumWorkers() < min {
+		return fmt.Errorf("rule %q needs ≥ %d inputs with f̄=%d, but the gradient quorum is %d (raise WithQuorums or the worker population)",
+			d.ruleName, min, d.fWorkers, d.quorumWorkers())
+	}
+	if min, err := igar.MinInputs(d.paramRuleName, d.fServers); err == nil && d.quorumServers() < min {
+		return fmt.Errorf("parameter rule %q needs ≥ %d inputs with f=%d, but the parameter quorum is %d",
+			d.paramRuleName, min, d.fServers, d.quorumServers())
+	}
 	if len(d.serverAttacks) >= d.numServers {
 		return fmt.Errorf("every server is Byzantine; nothing to measure")
 	}
@@ -224,6 +239,15 @@ func (d *Deployment) Runtime() Runner { return d.runtime }
 // Run executes the deployment under its configured runtime (Sim unless
 // WithRuntime changed it). The context cancels the run: the simulator
 // checks it between steps, the live runtime tears the network down.
+//
+// When WithParallelism was given, Run pins the process-wide kernel worker
+// count for the duration and restores the previous setting before
+// returning; concurrent runs of differently-configured deployments should
+// set the knob once via SetParallelism instead.
 func (d *Deployment) Run(ctx context.Context) (*Result, error) {
+	if d.parallelismSet {
+		prev := SetParallelism(d.parallelism)
+		defer SetParallelism(prev)
+	}
 	return d.runtime.Run(ctx, d)
 }

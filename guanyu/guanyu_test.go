@@ -47,6 +47,10 @@ func TestNewValidatesTopology(t *testing.T) {
 		"attack out of range": {base, guanyu.WithWorkerAttack(99, guanyu.Zero{})},
 		"all servers byz": {base, guanyu.WithServers(6, 1),
 			guanyu.WithAttackedServers(6, func(int) guanyu.Attack { return guanyu.Zero{} })},
+		// Bulyan needs n ≥ 4f+3 = 23 inputs at f̄=5, more than the paper
+		// deployment's minimum gradient quorum q̄ = 13: New must reject it
+		// instead of handing back a Deployment that fails its first step.
+		"rule illegal at quorum": {base, guanyu.WithRule("bulyan")},
 	}
 	for name, opts := range cases {
 		if _, err := guanyu.New(opts...); err == nil {

@@ -171,6 +171,19 @@ func WithMomentum(beta float64) Option {
 	}
 }
 
+// WithParallelism pins the worker count of the shared kernel pool for this
+// deployment's runs: Run applies it for the duration and restores the
+// previous process-wide setting afterwards (see SetParallelism). n ≤ 0
+// selects the default (runtime.NumCPU()); n = 1 reproduces the serial
+// numerics exactly — parallelism never changes results, only wall-clock.
+func WithParallelism(n int) Option {
+	return func(d *Deployment) error {
+		d.parallelism = n
+		d.parallelismSet = true
+		return nil
+	}
+}
+
 // WithSeed seeds every generator in the run; equal seeds reproduce Sim runs
 // bit-for-bit.
 func WithSeed(seed uint64) Option {

@@ -47,7 +47,9 @@ func validator(dim int) func(transport.Message) bool {
 // send transmits vec to the named receiver, routing it through att when the
 // node is Byzantine. A nil attack means honest. Send errors are deliberately
 // dropped: the network model is best-effort and the quorum discipline
-// tolerates missing messages.
+// tolerates missing messages. Payload immutability is the transport's job:
+// every Endpoint delivers a snapshot (the in-process network clones, TCP
+// copies by serialising), so a sender may keep mutating vec afterwards.
 func send(ep transport.Endpoint, att attack.Attack, kind transport.Kind,
 	step int, to string, vec tensor.Vector) {
 	out := vec

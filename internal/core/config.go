@@ -83,8 +83,8 @@ type CostModel struct {
 // replication and quorum waits) is fixed by the protocol; the constants
 // below are calibrated once so the headline ratios land near the paper's
 // measurements (vanilla GuanYu ≈ 65% slower than vanilla TF to a fixed
-// accuracy; Byzantine deployment ≤ ~33% over vanilla GuanYu). See
-// EXPERIMENTS.md for the calibration note.
+// accuracy; Byzantine deployment ≤ ~33% over vanilla GuanYu). See the
+// "Cost-model calibration" section of EXPERIMENTS.md.
 func DefaultCostModel(seed uint64) CostModel {
 	return CostModel{
 		GradBase:          2e-3,

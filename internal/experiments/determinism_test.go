@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// The headline determinism contract of the parallel engine: a full
+// experiment — concurrent curves on the outside, chunked gradient/
+// aggregation kernels on the inside — produces bit-identical results at
+// parallelism 1 and parallelism N. Chunk boundaries are derived from
+// problem sizes only and reductions fold in a fixed order, so the worker
+// count is pure scheduling.
+//
+// The scale is chosen so the chunked BatchGradient path is actually
+// exercised (batch 8 → two fixed example chunks).
+
+var determinismScale = Scale{Steps: 6, Batch: 8, SmallBatch: 4, Examples: 160, Seed: 5}
+
+func atParallelism[T any](t *testing.T, workers int, f func() (T, error)) T {
+	t.Helper()
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	v, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func sameSeries(t *testing.T, label string, a, b *stats.Series) {
+	t.Helper()
+	if a.Name != b.Name || len(a.Points) != len(b.Points) {
+		t.Fatalf("%s: series shape differs (%q/%d vs %q/%d)",
+			label, a.Name, len(a.Points), b.Name, len(b.Points))
+	}
+	for i, p := range a.Points {
+		q := b.Points[i]
+		if p != q {
+			t.Fatalf("%s: point %d differs across parallelism: %+v vs %+v", label, i, p, q)
+		}
+	}
+}
+
+func TestFig3BitIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	serial := atParallelism(t, 1, func() (*Fig3Result, error) { return Fig3(determinismScale) })
+	for _, workers := range []int{4, 7} {
+		par := atParallelism(t, workers, func() (*Fig3Result, error) { return Fig3(determinismScale) })
+		for i := range serial.LargeBatch {
+			sameSeries(t, "large batch", serial.LargeBatch[i], par.LargeBatch[i])
+		}
+		for i := range serial.SmallBatch {
+			sameSeries(t, "small batch", serial.SmallBatch[i], par.SmallBatch[i])
+		}
+	}
+}
+
+func TestGARAblationBitIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	serial := atParallelism(t, 1, func() ([]GARAblationRow, error) { return GARAblation(determinismScale) })
+	par := atParallelism(t, 4, func() ([]GARAblationRow, error) { return GARAblation(determinismScale) })
+	if len(serial) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("row %d differs across parallelism: %+v vs %+v", i, serial[i], par[i])
+		}
+	}
+}

@@ -1,8 +1,15 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (Section 5). Each experiment returns both structured results
 // and a formatted text rendering; cmd/guanyu-bench prints them, the root
-// benchmark suite wraps them in testing.B, and EXPERIMENTS.md records the
-// measured outcomes next to the paper's.
+// benchmark suite wraps them in testing.B, and EXPERIMENTS.md (see its
+// "Experiment index" and "Measured column" sections) records the measured
+// outcomes next to the paper's.
+//
+// The independent runs of one experiment — the five systems of Figure 3,
+// the rule ablation's six rules, a sweep's points — execute concurrently on
+// the shared worker pool (bounded by guanyu.SetParallelism / the -parallel
+// flag). Every run is a self-contained deterministic simulation writing to
+// its own result slot, so concurrency never changes any number.
 package experiments
 
 import (
@@ -15,10 +22,34 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gar"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 )
+
+// runConfigs executes the configurations concurrently (bounded by the
+// process parallelism setting; sequential at parallelism 1) and returns the
+// run results in input order. Each factory builds its own Config — including
+// its workload — inside its task, so dataset synthesis parallelises too.
+func runConfigs(mks []func() core.Config) ([]*core.Result, error) {
+	results := make([]*core.Result, len(mks))
+	tasks := make([]func() error, len(mks))
+	for i, mk := range mks {
+		tasks[i] = func() error {
+			res, err := core.Run(mk())
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		}
+	}
+	if err := parallel.Do(tasks...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
 
 // Scale shrinks or grows experiment workloads. The paper's absolute scale
 // (1.75M-parameter CNN, 50k CIFAR images, ~1400 updates) does not fit a
@@ -57,10 +88,10 @@ func Table1() string {
 	return b.String()
 }
 
-// fig3Systems runs the five systems of Figure 3 at the given batch size and
-// returns their curves in the paper's legend order.
-func fig3Systems(s Scale, batch int) ([]*stats.Series, error) {
-	runs := []func() core.Config{
+// fig3Configs describes the five systems of Figure 3 at the given batch
+// size, in the paper's legend order.
+func fig3Configs(s Scale, batch int) []func() core.Config {
+	return []func() core.Config{
 		func() core.Config {
 			return core.VanillaTF(core.ImageWorkload(s.Examples, s.Seed), s.Steps, batch, s.Seed)
 		},
@@ -77,15 +108,6 @@ func fig3Systems(s Scale, batch int) ([]*stats.Series, error) {
 			return core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), 5, 1, s.Steps, batch, s.Seed)
 		},
 	}
-	curves := make([]*stats.Series, 0, len(runs))
-	for _, mk := range runs {
-		res, err := core.Run(mk())
-		if err != nil {
-			return nil, err
-		}
-		curves = append(curves, res.Curve)
-	}
-	return curves, nil
 }
 
 // Fig3Result bundles the four panels of Figure 3.
@@ -98,17 +120,19 @@ type Fig3Result struct {
 
 // Fig3 reproduces Figure 3: overhead of GuanYu in a non-Byzantine
 // environment, all five systems, two batch sizes, accuracy against both
-// model updates (panels a, c) and time (panels b, d).
+// model updates (panels a, c) and time (panels b, d). All ten runs are
+// independent and execute concurrently.
 func Fig3(s Scale) (*Fig3Result, error) {
-	large, err := fig3Systems(s, s.Batch)
+	mks := append(fig3Configs(s, s.Batch), fig3Configs(s, s.SmallBatch)...)
+	results, err := runConfigs(mks)
 	if err != nil {
-		return nil, fmt.Errorf("fig3 large batch: %w", err)
+		return nil, fmt.Errorf("fig3: %w", err)
 	}
-	small, err := fig3Systems(s, s.SmallBatch)
-	if err != nil {
-		return nil, fmt.Errorf("fig3 small batch: %w", err)
+	curves := make([]*stats.Series, len(results))
+	for i, r := range results {
+		curves[i] = r.Curve
 	}
-	return &Fig3Result{LargeBatch: large, SmallBatch: small}, nil
+	return &Fig3Result{LargeBatch: curves[:5], SmallBatch: curves[5:]}, nil
 }
 
 // fig3Levels is the accuracy ladder used to render the time-axis panels.
@@ -148,39 +172,37 @@ type Fig4Result struct {
 // single corrupted-gradient worker collapses; GuanYu with 5 Byzantine
 // workers and 1 Byzantine (two-faced) server keeps converging.
 func Fig4(s Scale) (*Fig4Result, error) {
-	clean, err := core.Run(core.VanillaTF(core.ImageWorkload(s.Examples, s.Seed), s.Steps, s.Batch, s.Seed))
-	if err != nil {
-		return nil, err
-	}
-
-	// The gradient-corruption attack is a scaled sign-flip: unlike fixed-
-	// magnitude noise (which honest gradients self-heal on easy tasks), it
-	// tracks the honest gradient scale, so an unprotected mean cannot
-	// recover — the paper's "pulls the learning process out of the
-	// convergence area" behaviour.
-	byzVanilla := core.VanillaTF(core.ImageWorkload(s.Examples, s.Seed), s.Steps, s.Batch, s.Seed)
-	byzVanilla = core.WithByzantineWorkers(byzVanilla, 1, func(i int) attack.Attack {
-		return attack.SignFlip{Scale: 30}
+	results, err := runConfigs([]func() core.Config{
+		func() core.Config {
+			return core.VanillaTF(core.ImageWorkload(s.Examples, s.Seed), s.Steps, s.Batch, s.Seed)
+		},
+		// The gradient-corruption attack is a scaled sign-flip: unlike fixed-
+		// magnitude noise (which honest gradients self-heal on easy tasks), it
+		// tracks the honest gradient scale, so an unprotected mean cannot
+		// recover — the paper's "pulls the learning process out of the
+		// convergence area" behaviour.
+		func() core.Config {
+			byzVanilla := core.VanillaTF(core.ImageWorkload(s.Examples, s.Seed), s.Steps, s.Batch, s.Seed)
+			return core.WithByzantineWorkers(byzVanilla, 1, func(i int) attack.Attack {
+				return attack.SignFlip{Scale: 30}
+			})
+		},
+		func() core.Config {
+			byzGuanYu := core.GuanYu(core.ImageWorkload(s.Examples, s.Seed),
+				core.PaperByzWorkers, core.PaperByzServers, s.Steps, s.Batch, s.Seed)
+			byzGuanYu = core.WithByzantineWorkers(byzGuanYu, core.PaperByzWorkers, func(i int) attack.Attack {
+				return attack.SignFlip{Scale: 30}
+			})
+			return core.WithByzantineServers(byzGuanYu, core.PaperByzServers, func(i int) attack.Attack {
+				return attack.TwoFaced{Inner: attack.NewRandomGaussian(100, s.Seed+20+uint64(i))}
+			})
+		},
 	})
-	vb, err := core.Run(byzVanilla)
 	if err != nil {
 		return nil, err
 	}
+	clean, vb, gb := results[0], results[1], results[2]
 	vb.Curve.Name = "vanilla TF (Byzantine)"
-
-	byzGuanYu := core.GuanYu(core.ImageWorkload(s.Examples, s.Seed),
-		core.PaperByzWorkers, core.PaperByzServers, s.Steps, s.Batch, s.Seed)
-	byzGuanYu = core.WithByzantineWorkers(byzGuanYu, core.PaperByzWorkers, func(i int) attack.Attack {
-		return attack.SignFlip{Scale: 30}
-	})
-	byzGuanYu = core.WithByzantineServers(byzGuanYu, core.PaperByzServers, func(i int) attack.Attack {
-		return attack.TwoFaced{Inner: attack.NewRandomGaussian(100, s.Seed+20+uint64(i))}
-	})
-	gb, err := core.Run(byzGuanYu)
-	if err != nil {
-		return nil, err
-	}
-
 	return &Fig4Result{VanillaClean: clean.Curve, VanillaByzantine: vb.Curve, GuanYuByzantine: gb.Curve}, nil
 }
 
@@ -222,18 +244,21 @@ type OverheadResult struct {
 // target is lowered to 90% of the weakest curve's best accuracy so the
 // comparison stays meaningful.
 func Overhead(s Scale) (*OverheadResult, error) {
-	tf, err := core.Run(core.VanillaTF(core.ImageWorkload(s.Examples, s.Seed), s.Steps, s.Batch, s.Seed))
+	results, err := runConfigs([]func() core.Config{
+		func() core.Config {
+			return core.VanillaTF(core.ImageWorkload(s.Examples, s.Seed), s.Steps, s.Batch, s.Seed)
+		},
+		func() core.Config {
+			return core.VanillaGuanYu(core.ImageWorkload(s.Examples, s.Seed), s.Steps, s.Batch, s.Seed)
+		},
+		func() core.Config {
+			return core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), 5, 1, s.Steps, s.Batch, s.Seed)
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	vg, err := core.Run(core.VanillaGuanYu(core.ImageWorkload(s.Examples, s.Seed), s.Steps, s.Batch, s.Seed))
-	if err != nil {
-		return nil, err
-	}
-	gy, err := core.Run(core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), 5, 1, s.Steps, s.Batch, s.Seed))
-	if err != nil {
-		return nil, err
-	}
+	tf, vg, gy := results[0], results[1], results[2]
 
 	target := core.PaperAccuracyTarget
 	weakest := math.Min(tf.Curve.BestAccuracy(),
@@ -275,24 +300,21 @@ type ContractionResult struct {
 // Contraction is the ablation of the server-to-server median round: without
 // it, honest server models drift apart.
 func Contraction(s Scale) (*ContractionResult, error) {
-	run := func(disable bool) (float64, error) {
-		cfg := core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), 1, 1, s.Steps, s.Batch, s.Seed)
-		cfg.DisableServerExchange = disable
-		res, err := core.Run(cfg)
-		if err != nil {
-			return 0, err
+	mk := func(disable bool) func() core.Config {
+		return func() core.Config {
+			cfg := core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), 1, 1, s.Steps, s.Batch, s.Seed)
+			cfg.DisableServerExchange = disable
+			return cfg
 		}
-		return res.Curve.Points[len(res.Curve.Points)-1].Drift, nil
 	}
-	with, err := run(false)
+	results, err := runConfigs([]func() core.Config{mk(false), mk(true)})
 	if err != nil {
 		return nil, err
 	}
-	without, err := run(true)
-	if err != nil {
-		return nil, err
+	drift := func(r *core.Result) float64 {
+		return r.Curve.Points[len(r.Curve.Points)-1].Drift
 	}
-	return &ContractionResult{DriftWith: with, DriftWithout: without}, nil
+	return &ContractionResult{DriftWith: drift(results[0]), DriftWithout: drift(results[1])}, nil
 }
 
 // Format renders the contraction ablation.
@@ -316,19 +338,25 @@ type QuorumSweepRow struct {
 // Byzantine workers (larger q̄) improves per-update quality while reducing
 // throughput.
 func QuorumSweep(s Scale) ([]QuorumSweepRow, error) {
-	rows := make([]QuorumSweepRow, 0, 3)
-	for _, f := range []int{0, 2, 5} {
-		cfg := core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), f, 0, s.Steps, s.Batch, s.Seed)
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, err
+	fs := []int{0, 2, 5}
+	mks := make([]func() core.Config, len(fs))
+	for i, f := range fs {
+		mks[i] = func() core.Config {
+			return core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), f, 0, s.Steps, s.Batch, s.Seed)
 		}
-		rows = append(rows, QuorumSweepRow{
+	}
+	results, err := runConfigs(mks)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]QuorumSweepRow, len(fs))
+	for i, f := range fs {
+		rows[i] = QuorumSweepRow{
 			DeclaredF:     f,
 			Quorum:        gar.MinQuorum(f),
-			FinalAccuracy: res.FinalAccuracy,
-			Throughput:    res.Curve.Throughput(),
-		})
+			FinalAccuracy: results[i].FinalAccuracy,
+			Throughput:    results[i].Curve.Throughput(),
+		}
 	}
 	return rows, nil
 }
@@ -371,23 +399,30 @@ func NonIID(s Scale) ([]NonIIDRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, v := range []struct {
+	variants := []struct {
 		name   string
 		shards []*dataset.Dataset
 	}{
 		{"iid", iidShards},
 		{"by-label", labelShards},
-	} {
-		cfg := core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), 1, 1, s.Steps, s.Batch, s.Seed)
-		cfg.WorkerShards = v.shards
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, err
+	}
+	mks := make([]func() core.Config, len(variants))
+	for i, v := range variants {
+		mks[i] = func() core.Config {
+			cfg := core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), 1, 1, s.Steps, s.Batch, s.Seed)
+			cfg.WorkerShards = v.shards
+			return cfg
 		}
+	}
+	results, err := runConfigs(mks)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
 		rows = append(rows, NonIIDRow{
 			Sharding:      v.name,
 			Skew:          dataset.LabelSkew(w.Train, v.shards),
-			FinalAccuracy: res.FinalAccuracy,
+			FinalAccuracy: results[i].FinalAccuracy,
 		})
 	}
 	return rows, nil
@@ -420,21 +455,28 @@ type AsyncSweepRow struct {
 // the tail weight — the "tolerates unbounded communication delays" claim,
 // made quantitative.
 func AsyncSweep(s Scale) ([]AsyncSweepRow, error) {
-	rows := make([]AsyncSweepRow, 0, 4)
-	for _, sigma := range []float64{0, 0.5, 1.0, 2.0} {
-		cfg := core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), 1, 1, s.Steps, s.Batch, s.Seed)
-		cost := core.DefaultCostModel(s.Seed + 900)
-		cost.Latency = transport.NewLatencyModel(150e-6, sigma, 1.25e9, s.Seed+901)
-		cfg.Cost = cost
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, err
+	sigmas := []float64{0, 0.5, 1.0, 2.0}
+	mks := make([]func() core.Config, len(sigmas))
+	for i, sigma := range sigmas {
+		mks[i] = func() core.Config {
+			cfg := core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), 1, 1, s.Steps, s.Batch, s.Seed)
+			cost := core.DefaultCostModel(s.Seed + 900)
+			cost.Latency = transport.NewLatencyModel(150e-6, sigma, 1.25e9, s.Seed+901)
+			cfg.Cost = cost
+			return cfg
 		}
-		rows = append(rows, AsyncSweepRow{
+	}
+	results, err := runConfigs(mks)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AsyncSweepRow, len(sigmas))
+	for i, sigma := range sigmas {
+		rows[i] = AsyncSweepRow{
 			JitterSigma:   sigma,
-			VirtualTime:   res.VirtualTime,
-			FinalAccuracy: res.FinalAccuracy,
-		})
+			VirtualTime:   results[i].VirtualTime,
+			FinalAccuracy: results[i].FinalAccuracy,
+		}
 	}
 	return rows, nil
 }
@@ -464,26 +506,35 @@ type GARAblationRow struct {
 func GARAblation(s Scale) ([]GARAblationRow, error) {
 	names := []string{"mean", "coordinate-median", "multi-krum", "trimmed-mean",
 		"geometric-median", "mda"}
-	rows := make([]GARAblationRow, 0, len(names))
-	for _, name := range names {
+	rules := make([]gar.Rule, len(names))
+	for i, name := range names {
 		rule, err := gar.FromName(name, 5)
 		if err != nil {
 			return nil, err
 		}
-		cfg := core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), 5, 0, s.Steps, s.Batch, s.Seed)
-		cfg.Rule = rule
-		cfg = core.WithByzantineWorkers(cfg, 5, func(i int) attack.Attack {
-			return attack.SignFlip{Scale: 30}
-		})
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, err
+		rules[i] = rule
+	}
+	mks := make([]func() core.Config, len(rules))
+	for i := range rules {
+		mks[i] = func() core.Config {
+			cfg := core.GuanYu(core.ImageWorkload(s.Examples, s.Seed), 5, 0, s.Steps, s.Batch, s.Seed)
+			cfg.Rule = rules[i]
+			return core.WithByzantineWorkers(cfg, 5, func(int) attack.Attack {
+				return attack.SignFlip{Scale: 30}
+			})
 		}
-		acc := res.FinalAccuracy
-		if !tensor.IsFinite(res.Final) {
+	}
+	results, err := runConfigs(mks)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]GARAblationRow, len(rules))
+	for i, rule := range rules {
+		acc := results[i].FinalAccuracy
+		if !tensor.IsFinite(results[i].Final) {
 			acc = 0
 		}
-		rows = append(rows, GARAblationRow{Rule: rule.Name(), FinalAccuracy: acc})
+		rows[i] = GARAblationRow{Rule: rule.Name(), FinalAccuracy: acc}
 	}
 	return rows, nil
 }

@@ -5,8 +5,19 @@
 //
 // A GAR is a function (R^d)^n → R^d. A (α,f)-Byzantine-resilient GAR
 // tolerates f arbitrary inputs among its n inputs. The package also exposes
-// the legality checks the theory requires (n ≥ 2f+3 for Multi-Krum,
-// quorum bounds 2f+3 ≤ q ≤ n−f, deployment bound n ≥ 3f+3).
+// the legality checks the theory requires. The authoritative statement of
+// the bounds lives in guanyu/gar/bounds.go; validate.go and the registry
+// enforce the same statement:
+//
+//	deployment populations  n ≥ 3f+3 (servers), n̄ ≥ 3f̄+3 (workers)
+//	quorums                 2f+3 ≤ q ≤ n−f per role
+//	rule inputs             n ≥ 2f+3 (krum, multi-krum), n ≥ 2f+1
+//	                        (trimmed-mean), n ≥ 4f+3 (bulyan), n ≥ f+1 (mda)
+//
+// The O(n²·d) Krum score matrix and the coordinate loops of the median,
+// trimmed-mean and Bulyan kernels execute through internal/parallel. Every
+// decomposition is element-independent (each output cell owned by one
+// chunk), so results are bit-identical at any parallelism.
 package gar
 
 import (
@@ -14,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -117,18 +129,30 @@ func KrumScores(inputs []tensor.Vector, f int) ([]float64, error) {
 		return nil, fmt.Errorf("%w: Krum needs n ≥ 2f+3, got n=%d f=%d",
 			ErrTooFewInputs, n, f)
 	}
-	// Pairwise squared distances.
+	// Pairwise squared distances, parallel over rows: the task owning row i
+	// computes dist[i][j] and mirrors it into dist[j][i] for every j > i, so
+	// each cell is written by exactly one task (the smaller index) and the
+	// matrix is identical at any parallelism. Rows shrink as i grows; grain-1
+	// chunks pulled dynamically keep the workers balanced. Small problems
+	// collapse to a single chunk and run inline.
 	dist := make([][]float64, n)
 	for i := range dist {
 		dist[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := tensor.SquaredDistance(inputs[i], inputs[j])
-			dist[i][j] = d
-			dist[j][i] = d
-		}
+	d := len(inputs[0])
+	rowGrain := 1
+	if (n-1)*d < 1<<15 {
+		rowGrain = n
 	}
+	parallel.For(n, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < n; j++ {
+				dd := tensor.SquaredDistance(inputs[i], inputs[j])
+				dist[i][j] = dd
+				dist[j][i] = dd
+			}
+		}
+	})
 	k := n - f - 2 // number of closest neighbours in the score
 	scores := make([]float64, n)
 	row := make([]float64, 0, n-1)
@@ -267,19 +291,24 @@ func (t TrimmedMean) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
 	}
 	d := len(inputs[0])
 	out := make(tensor.Vector, d)
-	col := make([]float64, n)
 	kept := float64(n - 2*t.F)
-	for i := 0; i < d; i++ {
-		for j, v := range inputs {
-			col[j] = v[i]
+	// Coordinate-chunked: each chunk owns its coordinate range and sorts
+	// into its own column scratch, so the output is identical at any
+	// parallelism.
+	parallel.For(d, coordGrain, func(lo, hi int) {
+		col := make([]float64, n)
+		for i := lo; i < hi; i++ {
+			for j, v := range inputs {
+				col[j] = v[i]
+			}
+			sort.Float64s(col)
+			var s float64
+			for _, x := range col[t.F : n-t.F] {
+				s += x
+			}
+			out[i] = s / kept
 		}
-		sort.Float64s(col)
-		var s float64
-		for _, x := range col[t.F : n-t.F] {
-			s += x
-		}
-		out[i] = s / kept
-	}
+	})
 	return out, nil
 }
 
@@ -333,30 +362,33 @@ func (b Bulyan) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
 		pool = append(pool[:best], pool[best+1:]...)
 	}
 	// Phase 2: per coordinate, average the β = θ − 2f values closest to the
-	// median of the selected set.
+	// median of the selected set. Coordinate-chunked like the trimmed mean;
+	// each chunk owns its coordinate range and scratch column.
 	d := len(inputs[0])
 	beta := theta - 2*f
 	out := make(tensor.Vector, d)
-	col := make([]float64, len(selected))
-	for i := 0; i < d; i++ {
-		for j, v := range selected {
-			col[j] = v[i]
-		}
-		sort.Float64s(col)
-		// The β values closest to the median form the tightest contiguous
-		// window of the sorted column; slide to find it.
-		bestLo, bestSpread := 0, col[beta-1]-col[0]
-		for lo := 1; lo+beta <= len(col); lo++ {
-			if s := col[lo+beta-1] - col[lo]; s < bestSpread {
-				bestSpread = s
-				bestLo = lo
+	parallel.For(d, coordGrain, func(cLo, cHi int) {
+		col := make([]float64, len(selected))
+		for i := cLo; i < cHi; i++ {
+			for j, v := range selected {
+				col[j] = v[i]
 			}
+			sort.Float64s(col)
+			// The β values closest to the median form the tightest contiguous
+			// window of the sorted column; slide to find it.
+			bestLo, bestSpread := 0, col[beta-1]-col[0]
+			for lo := 1; lo+beta <= len(col); lo++ {
+				if s := col[lo+beta-1] - col[lo]; s < bestSpread {
+					bestSpread = s
+					bestLo = lo
+				}
+			}
+			var s float64
+			for _, x := range col[bestLo : bestLo+beta] {
+				s += x
+			}
+			out[i] = s / float64(beta)
 		}
-		var s float64
-		for _, x := range col[bestLo : bestLo+beta] {
-			s += x
-		}
-		out[i] = s / float64(beta)
-	}
+	})
 	return out, nil
 }

@@ -3,15 +3,37 @@ package gar
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
 // In-place aggregation kernels. These are the allocation-free cores behind
-// Mean and Median; the public guanyu/gar package calls them directly so its
-// Aggregate(ctx, dst, inputs) hot path performs no per-call allocations.
+// Mean and Median; the public guanyu/gar package drives their chunk forms
+// directly so its Aggregate(ctx, dst, inputs) hot path performs no per-call
+// allocations even when it parallelises over coordinate ranges.
+//
+// Both kernels are coordinate-independent: coordinate i of the output
+// depends only on coordinate i of the inputs, and within one coordinate the
+// arithmetic order is fixed (input order for the mean, a sort for the
+// median). Splitting the coordinate range into chunks therefore produces
+// bit-identical results at any parallelism — including fully serial.
 
-// checkInto validates inputs and that dst matches their dimension.
-func checkInto(dst tensor.Vector, inputs []tensor.Vector) error {
+// Coordinate-chunk grains: one chunk is sized so its compute dominates the
+// dispatch cost of a pool chunk (~1µs). The median pays a small sort per
+// coordinate, the mean only n additions, hence the larger mean grain.
+const (
+	medianGrain = 1 << 10
+	meanGrain   = 1 << 12
+	// coordGrain sizes the coordinate chunks of the sorting rules
+	// (trimmed-mean, Bulyan phase 2), which pay roughly a median's work per
+	// coordinate.
+	coordGrain = 1 << 10
+)
+
+// CheckInto validates inputs (non-empty, equal dimensions) and that dst
+// matches their dimension. The public guanyu/gar rules call it before
+// driving the chunk kernels directly.
+func CheckInto(dst tensor.Vector, inputs []tensor.Vector) error {
 	if err := checkInputs(inputs); err != nil {
 		return err
 	}
@@ -22,43 +44,78 @@ func checkInto(dst tensor.Vector, inputs []tensor.Vector) error {
 	return nil
 }
 
-// MeanInto writes the arithmetic mean of inputs into dst. dst must have the
-// inputs' dimension; it may alias one of the inputs.
-func MeanInto(dst tensor.Vector, inputs []tensor.Vector) error {
-	if err := checkInto(dst, inputs); err != nil {
-		return err
-	}
+// MeanChunkInto writes coordinates [lo, hi) of the arithmetic mean of inputs
+// into dst. Inputs must be validated (same dimension, dst matching); the
+// coordinate range must be owned by the caller's chunk.
+func MeanChunkInto(dst tensor.Vector, inputs []tensor.Vector, lo, hi int) {
 	inv := 1 / float64(len(inputs))
 	first := inputs[0]
-	for i := range dst {
+	for i := lo; i < hi; i++ {
 		dst[i] = first[i]
 	}
 	for _, v := range inputs[1:] {
-		for i, x := range v {
-			dst[i] += x
+		for i := lo; i < hi; i++ {
+			dst[i] += v[i]
 		}
 	}
-	tensor.ScaleInPlace(dst, inv)
+	for i := lo; i < hi; i++ {
+		dst[i] *= inv
+	}
+}
+
+// MedianChunkInto writes coordinates [lo, hi) of the coordinate-wise median
+// of inputs into dst, using col (len(col) ≥ len(inputs)) as scratch. Each
+// coordinate's column is copied out before dst is written, so dst may alias
+// one of the inputs.
+func MedianChunkInto(dst tensor.Vector, col []float64, inputs []tensor.Vector, lo, hi int) {
+	col = col[:len(inputs)]
+	for i := lo; i < hi; i++ {
+		for j, v := range inputs {
+			col[j] = v[i]
+		}
+		dst[i] = medianInPlace(col)
+	}
+}
+
+// MeanInto writes the arithmetic mean of inputs into dst. dst must have the
+// inputs' dimension; it may alias one of the inputs. Large dimensions are
+// processed in parallel coordinate chunks (bit-identical to serial).
+func MeanInto(dst tensor.Vector, inputs []tensor.Vector) error {
+	if err := CheckInto(dst, inputs); err != nil {
+		return err
+	}
+	parallel.For(len(dst), meanGrain, func(lo, hi int) {
+		MeanChunkInto(dst, inputs, lo, hi)
+	})
 	return nil
 }
 
 // MedianInto writes the coordinate-wise median of inputs into dst, using
-// col (len(col) ≥ len(inputs)) as scratch. Each coordinate's column is
-// copied out before dst is written, so dst may alias one of the inputs.
+// col (len(col) ≥ len(inputs)) as scratch. Large dimensions are processed in
+// parallel coordinate chunks (bit-identical to serial); extra workers get
+// their own scratch columns so col is only touched by one of them.
 func MedianInto(dst tensor.Vector, col []float64, inputs []tensor.Vector) error {
-	if err := checkInto(dst, inputs); err != nil {
+	if err := CheckInto(dst, inputs); err != nil {
 		return err
 	}
 	n := len(inputs)
 	if len(col) < n {
 		return fmt.Errorf("gar: median scratch has length %d, need %d", len(col), n)
 	}
-	col = col[:n]
-	for i := range dst {
-		for j, v := range inputs {
-			col[j] = v[i]
-		}
-		dst[i] = medianInPlace(col)
+	d := len(dst)
+	if w := parallel.Workers(); w > 1 && d > medianGrain {
+		cols := make([][]float64, w)
+		cols[0] = col
+		parallel.ForWorker(d, medianGrain, len(cols), func(wk, lo, hi int) {
+			c := cols[wk]
+			if c == nil {
+				c = make([]float64, n)
+				cols[wk] = c
+			}
+			MedianChunkInto(dst, c, inputs, lo, hi)
+		})
+		return nil
 	}
+	MedianChunkInto(dst, col, inputs, 0, d)
 	return nil
 }

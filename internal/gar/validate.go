@@ -2,15 +2,19 @@ package gar
 
 import "fmt"
 
-// The theoretical preconditions of GuanYu (Section 3.2 of the paper):
+// The theoretical preconditions of GuanYu (Section 3.2 of the paper;
+// authoritative statement: guanyu/gar/bounds.go):
 //
 //	n  ≥ 3f+3    parameter servers, f Byzantine
 //	n̄  ≥ 3f̄+3    workers, f̄ Byzantine
 //	2f+3 ≤ q ≤ n−f      quorum for the coordinate-wise median M
 //	2f̄+3 ≤ q̄ ≤ n̄−f̄      quorum for Multi-Krum F
 //
-// These helpers centralise the checks so every deployment entry point
-// validates against the same statement of the theory.
+// Per-rule input bounds (n ≥ 2f+3 for krum/multi-krum, n ≥ 2f+1 for
+// trimmed-mean, n ≥ 4f+3 for bulyan, n ≥ f+1 for mda) are enforced by the
+// registry's MinInputs entries. These helpers centralise the checks so
+// every deployment entry point validates against the same statement of the
+// theory.
 
 // CheckDeployment verifies the population bound n ≥ 3f+3 for one node role.
 func CheckDeployment(role string, n, f int) error {

@@ -3,8 +3,14 @@ package nn
 import (
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
+
+// convTarget is the per-chunk work (multiply-adds) of the parallel
+// convolution kernels. The harness TinyConvNet falls below it and runs the
+// inline serial path; the Table-1 CIFAR network clears it comfortably.
+const convTarget = 1 << 16
 
 // Conv2D is a 2-D convolution over channels-first C×H×W activations with
 // zero padding and square stride. Kernels are stored as a flat buffer of
@@ -57,10 +63,22 @@ func NewConv2D(inC, inH, inW, outC, kH, kW, stride, pad int, rng *tensor.RNG) *C
 // OutputShape returns (channels, height, width) of the output activation.
 func (c *Conv2D) OutputShape() (int, int, int) { return c.outC, c.outH, c.outW }
 
-// Forward computes the convolution.
+// Forward computes the convolution. Output channels are independent, so the
+// channel loop is chunked across the worker pool (each output cell written
+// by exactly one chunk — identical results at any parallelism); small layers
+// collapse to the inline serial path.
 func (c *Conv2D) Forward(x []float64) []float64 {
 	c.lastIn = x
-	for oc := 0; oc < c.outC; oc++ {
+	perOC := c.outH * c.outW * c.inC * c.kH * c.kW
+	parallel.For(c.outC, parallel.GrainFor(perOC, convTarget), func(ocLo, ocHi int) {
+		c.forwardChannels(x, ocLo, ocHi)
+	})
+	return c.outBuf
+}
+
+// forwardChannels computes output channels [ocLo, ocHi).
+func (c *Conv2D) forwardChannels(x []float64, ocLo, ocHi int) {
+	for oc := ocLo; oc < ocHi; oc++ {
 		b := c.bias[oc]
 		for oy := 0; oy < c.outH; oy++ {
 			for ox := 0; ox < c.outW; ox++ {
@@ -68,7 +86,7 @@ func (c *Conv2D) Forward(x []float64) []float64 {
 				iy0 := oy*c.stride - c.pad
 				ix0 := ox*c.stride - c.pad
 				for ic := 0; ic < c.inC; ic++ {
-					kBase := ((oc*c.inC+ic)*c.kH)*c.kW - 0
+					kBase := (oc*c.inC + ic) * c.kH * c.kW
 					inBase := ic * c.inH * c.inW
 					for ky := 0; ky < c.kH; ky++ {
 						iy := iy0 + ky
@@ -90,11 +108,27 @@ func (c *Conv2D) Forward(x []float64) []float64 {
 			}
 		}
 	}
-	return c.outBuf
 }
 
 // Backward accumulates kernel/bias gradients and returns dL/d(input).
+//
+// Two variants produce bit-identical results: the one-pass serial loop, and
+// a two-pass parallel form — pass A owns the weight gradients (chunked over
+// output channels, which partition gradKern and gradBias) and pass B owns
+// the input gradient (chunked over input channels, which partition dinBuf).
+// Each accumulated cell receives the same contributions in the same order in
+// both variants, so the split is purely a scheduling choice.
 func (c *Conv2D) Backward(dout []float64) []float64 {
+	perOC := c.outH * c.outW * c.inC * c.kH * c.kW
+	if total := perOC * c.outC; total >= 2*convTarget && parallel.Workers() > 1 && !parallel.Busy() {
+		return c.backwardTwoPass(dout, perOC)
+	}
+	return c.backwardOnePass(dout)
+}
+
+// backwardOnePass is the serial kernel: one sweep accumulating weight and
+// input gradients together.
+func (c *Conv2D) backwardOnePass(dout []float64) []float64 {
 	din := c.dinBuf
 	for i := range din {
 		din[i] = 0
@@ -133,6 +167,92 @@ func (c *Conv2D) Backward(dout []float64) []float64 {
 			}
 		}
 	}
+	return din
+}
+
+// backwardTwoPass runs the weight-gradient and input-gradient sweeps as two
+// parallel passes. See Backward for why it is bit-identical to the one-pass
+// form.
+func (c *Conv2D) backwardTwoPass(dout []float64, perOC int) []float64 {
+	x := c.lastIn
+	// Pass A: gradKern and gradBias, partitioned by output channel. Loop
+	// order matches backwardOnePass (oy, ox, ic, ky, kx inside oc), so every
+	// gradKern/gradBias cell accumulates its contributions in the same order.
+	parallel.For(c.outC, parallel.GrainFor(perOC, convTarget), func(ocLo, ocHi int) {
+		for oc := ocLo; oc < ocHi; oc++ {
+			for oy := 0; oy < c.outH; oy++ {
+				for ox := 0; ox < c.outW; ox++ {
+					g := dout[(oc*c.outH+oy)*c.outW+ox]
+					if g == 0 {
+						continue
+					}
+					c.gradBias[oc] += g
+					iy0 := oy*c.stride - c.pad
+					ix0 := ox*c.stride - c.pad
+					for ic := 0; ic < c.inC; ic++ {
+						kBase := (oc*c.inC + ic) * c.kH * c.kW
+						inBase := ic * c.inH * c.inW
+						for ky := 0; ky < c.kH; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= c.inH {
+								continue
+							}
+							kRow := kBase + ky*c.kW
+							inRow := inBase + iy*c.inW
+							for kx := 0; kx < c.kW; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= c.inW {
+									continue
+								}
+								c.gradKern[kRow+kx] += g * x[inRow+ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	// Pass B: dinBuf, partitioned by input channel. For a fixed input cell
+	// the contributions arrive ordered by (oc, oy, ox, ky, kx) — exactly the
+	// order the one-pass sweep produces for that cell.
+	din := c.dinBuf
+	perIC := c.outC * c.outH * c.outW * c.kH * c.kW
+	parallel.For(c.inC, parallel.GrainFor(perIC, convTarget), func(icLo, icHi int) {
+		for ic := icLo; ic < icHi; ic++ {
+			inBase := ic * c.inH * c.inW
+			for i := inBase; i < inBase+c.inH*c.inW; i++ {
+				din[i] = 0
+			}
+			for oc := 0; oc < c.outC; oc++ {
+				kBase := (oc*c.inC + ic) * c.kH * c.kW
+				for oy := 0; oy < c.outH; oy++ {
+					for ox := 0; ox < c.outW; ox++ {
+						g := dout[(oc*c.outH+oy)*c.outW+ox]
+						if g == 0 {
+							continue
+						}
+						iy0 := oy*c.stride - c.pad
+						ix0 := ox*c.stride - c.pad
+						for ky := 0; ky < c.kH; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= c.inH {
+								continue
+							}
+							kRow := kBase + ky*c.kW
+							inRow := inBase + iy*c.inW
+							for kx := 0; kx < c.kW; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= c.inW {
+									continue
+								}
+								din[inRow+ix] += g * c.kern[kRow+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
 	return din
 }
 

@@ -135,16 +135,30 @@ func (m *Sequential) SetParamVector(theta tensor.Vector) error {
 // GradVector copies all accumulated gradients into a single vector, scaled by
 // alpha (callers pass 1/batchSize to average per-example gradients).
 func (m *Sequential) GradVector(alpha float64) tensor.Vector {
-	out := make(tensor.Vector, 0, m.dim)
+	out := make(tensor.Vector, m.dim)
+	m.GradVectorInto(out, alpha)
+	return out
+}
+
+// GradVectorInto is the allocation-free form of GradVector: it copies the
+// accumulated gradients into dst, scaled by alpha. dst must have the model's
+// dimension (a programming error otherwise, so it panics in line with
+// package policy).
+func (m *Sequential) GradVectorInto(dst tensor.Vector, alpha float64) {
+	if len(dst) != m.dim {
+		panic(fmt.Sprintf("nn: gradient destination has dimension %d, model needs %d",
+			len(dst), m.dim))
+	}
+	off := 0
 	for _, l := range m.layers {
 		for _, g := range l.Grads() {
-			out = append(out, g...)
+			copy(dst[off:off+len(g)], g)
+			off += len(g)
 		}
 	}
 	if alpha != 1 {
-		tensor.ScaleInPlace(out, alpha)
+		tensor.ScaleInPlace(dst, alpha)
 	}
-	return out
 }
 
 // Clone returns an independent deep copy of the model.

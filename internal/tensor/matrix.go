@@ -1,6 +1,15 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// matVecTarget is the per-chunk work (multiply-adds) of the parallel matrix
+// kernels: large enough that chunk compute dominates pool dispatch, so the
+// small dense layers of the harness CNNs stay on the inline serial path.
+const matVecTarget = 1 << 16
 
 // Matrix is a dense row-major matrix of float64. It backs the fully-connected
 // and convolutional layers of the neural-network substrate.
@@ -41,14 +50,18 @@ func (m *Matrix) MatVec(dst, x []float64) {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch (%dx%d)·%d -> %d",
 			m.Rows, m.Cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : i*m.Cols+m.Cols]
-		var s float64
-		for j, w := range row {
-			s += w * x[j]
+	// Row-chunked: each output element is one row's dot product, written by
+	// exactly one chunk, so the result is identical at any parallelism.
+	parallel.For(m.Rows, parallel.GrainFor(m.Cols, matVecTarget), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.Cols : i*m.Cols+m.Cols]
+			var s float64
+			for j, w := range row {
+				s += w * x[j]
+			}
+			dst[i] = s
 		}
-		dst[i] = s
-	}
+	})
 }
 
 // MatVecT computes dst = mᵀ · x (used by backprop through a dense layer).
@@ -58,19 +71,24 @@ func (m *Matrix) MatVecT(dst, x []float64) {
 		panic(fmt.Sprintf("tensor: MatVecT shape mismatch (%dx%d)ᵀ·%d -> %d",
 			m.Rows, m.Cols, len(x), len(dst)))
 	}
-	for j := range dst {
-		dst[j] = 0
-	}
-	for i := 0; i < m.Rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
+	// Column-chunked: dst[j] accumulates over rows i in ascending order
+	// inside exactly one chunk, so the per-element addition order — and
+	// therefore the result — is identical at any parallelism.
+	parallel.For(m.Cols, parallel.GrainFor(m.Rows, matVecTarget), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j] = 0
 		}
-		row := m.Data[i*m.Cols : i*m.Cols+m.Cols]
-		for j, w := range row {
-			dst[j] += w * xi
+		for i := 0; i < m.Rows; i++ {
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			row := m.Data[i*m.Cols : i*m.Cols+m.Cols]
+			for j := lo; j < hi; j++ {
+				dst[j] += row[j] * xi
+			}
 		}
-	}
+	})
 }
 
 // AddOuter accumulates m += alpha · a·bᵀ (gradient of a dense layer's weight
@@ -80,14 +98,17 @@ func (m *Matrix) AddOuter(alpha float64, a, b []float64) {
 		panic(fmt.Sprintf("tensor: AddOuter shape mismatch %dx%d vs %d,%d",
 			m.Rows, m.Cols, len(a), len(b)))
 	}
-	for i := 0; i < m.Rows; i++ {
-		ai := alpha * a[i]
-		if ai == 0 {
-			continue
+	// Row-chunked: each matrix row is owned by exactly one chunk.
+	parallel.For(m.Rows, parallel.GrainFor(m.Cols, matVecTarget), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := alpha * a[i]
+			if ai == 0 {
+				continue
+			}
+			row := m.Data[i*m.Cols : i*m.Cols+m.Cols]
+			for j := range row {
+				row[j] += ai * b[j]
+			}
 		}
-		row := m.Data[i*m.Cols : i*m.Cols+m.Cols]
-		for j := range row {
-			row[j] += ai * b[j]
-		}
-	}
+	})
 }

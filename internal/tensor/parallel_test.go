@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// Bit-identity of the parallel matrix kernels across worker counts (and
+// their -race exercise).
+
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := parallel.SetWorkers(n)
+	t.Cleanup(func() { parallel.SetWorkers(prev) })
+}
+
+func TestMatrixKernelsBitIdenticalAcrossWorkers(t *testing.T) {
+	const rows, cols = 384, 512 // rows*cols clears the parallel gate
+	rng := NewRNG(3)
+	m := NewMatrix(rows, cols)
+	rng.NormVec(m.Data, 0, 1)
+	x := rng.NormVec(make([]float64, cols), 0, 1)
+	xT := rng.NormVec(make([]float64, rows), 0, 1)
+
+	withWorkers(t, 1)
+	wantMV := make([]float64, rows)
+	m.MatVec(wantMV, x)
+	wantMVT := make([]float64, cols)
+	m.MatVecT(wantMVT, xT)
+	wantOuter := m.Clone()
+	wantOuter.AddOuter(0.5, xT, x)
+
+	for _, w := range []int{2, 4} {
+		withWorkers(t, w)
+		gotMV := make([]float64, rows)
+		m.MatVec(gotMV, x)
+		for i := range gotMV {
+			if gotMV[i] != wantMV[i] {
+				t.Fatalf("workers=%d changed MatVec[%d]", w, i)
+			}
+		}
+		gotMVT := make([]float64, cols)
+		m.MatVecT(gotMVT, xT)
+		for i := range gotMVT {
+			if gotMVT[i] != wantMVT[i] {
+				t.Fatalf("workers=%d changed MatVecT[%d]", w, i)
+			}
+		}
+		gotOuter := m.Clone()
+		gotOuter.AddOuter(0.5, xT, x)
+		for i := range gotOuter.Data {
+			if gotOuter.Data[i] != wantOuter.Data[i] {
+				t.Fatalf("workers=%d changed AddOuter cell %d", w, i)
+			}
+		}
+	}
+}

@@ -122,6 +122,14 @@ func (e *chanEndpoint) ID() string { return e.id }
 
 func (e *chanEndpoint) Send(to string, m Message) error {
 	m.From = e.id
+	// Snapshot the payload: this transport delivers by reference, but a
+	// sender that keeps training mutates its parameter vector in place while
+	// a slow receiver may still be reading the previous broadcast. Messages
+	// must be immutable copies — exactly what a real network provides (the
+	// TCP transport copies by serialising, so it needs no extra clone).
+	if m.Vec != nil {
+		m.Vec = append([]float64(nil), m.Vec...)
+	}
 	return e.net.deliver(e.id, to, m)
 }
 
