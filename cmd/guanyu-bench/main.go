@@ -6,6 +6,9 @@
 //
 //	guanyu-bench -exp all            # everything, CI scale
 //	guanyu-bench -exp fig3 -full     # one experiment, paper-leaning scale
+//	guanyu-bench -exp matrix         # scenario matrix: attack × GAR × fault grid
+//	guanyu-bench -exp matrix -smoke  # smallest grid cell at tiny scale (CI)
+//	guanyu-bench -exp matrix -attacks alie,antikrum -faults none,chaos
 //	guanyu-bench -list               # show experiment ids
 //
 // Output is plain text, one table/series block per experiment, with the
@@ -17,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/guanyu"
 )
@@ -33,8 +37,12 @@ func run(args []string, out io.Writer) error {
 	var (
 		exp      = fs.String("exp", "all", "experiment id or 'all'")
 		full     = fs.Bool("full", false, "use the larger (slower) scale")
+		smoke    = fs.Bool("smoke", false, "CI smoke sizing: tiny scale and the smallest scenario-matrix cell")
 		list     = fs.Bool("list", false, "list experiment ids and exit")
 		seed     = fs.Uint64("seed", 42, "experiment seed")
+		attacks  = fs.String("attacks", "", "scenario matrix only: comma-separated attack specs (default grid when empty)")
+		rules    = fs.String("rules", "", "scenario matrix only: comma-separated gradient GAR names")
+		faults   = fs.String("faults", "", "scenario matrix only: comma-separated fault profile specs")
 		parallel = fs.Int("parallel", 0, "worker count for kernels and concurrent curves (0 = all CPUs, 1 = serial; results are identical at any setting)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -51,20 +59,50 @@ func run(args []string, out io.Writer) error {
 	if *full {
 		scale = guanyu.FullScale
 	}
+	if *smoke {
+		scale = guanyu.ExperimentScale{Steps: 10, Batch: 8, SmallBatch: 4, Examples: 300}
+	}
 	scale.Seed = *seed
 
-	if *exp != "all" {
-		if err := guanyu.RunExperiment(*exp, scale, out); err != nil {
+	// -smoke and the grid-axis flags change the matrix experiment's spec;
+	// runOne routes "matrix" through it so they apply under -exp all too.
+	customMatrix := *smoke || *attacks != "" || *rules != "" || *faults != ""
+	runOne := func(id string) error {
+		if id == "matrix" && customMatrix {
+			spec := guanyu.DefaultMatrixSpec()
+			if *smoke {
+				spec = guanyu.SmokeMatrixSpec()
+			}
+			if *attacks != "" {
+				spec.Attacks = strings.Split(*attacks, ",")
+			}
+			if *rules != "" {
+				spec.Rules = strings.Split(*rules, ",")
+			}
+			if *faults != "" {
+				spec.Faults = strings.Split(*faults, ",")
+			}
+			r, err := guanyu.Matrix(scale, spec)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Format())
+			return nil
+		}
+		if err := guanyu.RunExperiment(id, scale, out); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)
 		return nil
 	}
+
+	if *exp != "all" {
+		return runOne(*exp)
+	}
 	for _, id := range guanyu.ExperimentIDs() {
-		if err := guanyu.RunExperiment(id, scale, out); err != nil {
+		if err := runOne(id); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
-		fmt.Fprintln(out)
 	}
 	return nil
 }

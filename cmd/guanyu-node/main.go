@@ -40,19 +40,20 @@ func main() {
 }
 
 type nodeConfig struct {
-	role     string
-	id       string
-	listen   string
-	peers    map[string]string
-	fServers int
-	fWorkers int
-	steps    int
-	batch    int
-	seed     uint64
-	examples int
-	byzMode  string
-	ckptPath string
-	timeout  time.Duration
+	role      string
+	id        string
+	listen    string
+	peers     map[string]string
+	fServers  int
+	fWorkers  int
+	steps     int
+	batch     int
+	seed      uint64
+	examples  int
+	byzMode   string
+	faultSpec string
+	ckptPath  string
+	timeout   time.Duration
 }
 
 func parseFlags(args []string) (*nodeConfig, error) {
@@ -68,7 +69,10 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		batch    = fs.Int("batch", 16, "mini-batch size")
 		seed     = fs.Uint64("seed", 1, "deployment seed (shared by all nodes)")
 		examples = fs.Int("examples", 1200, "synthetic dataset size")
-		byzMode  = fs.String("byzantine", "", "make THIS node Byzantine: random | signflip | silent")
+		byzMode  = fs.String("byzantine", "",
+			fmt.Sprintf("make THIS node Byzantine, spec name[:k=v,...] of %v", guanyu.AttackNames()))
+		faultSpec = fs.String("faults", "none",
+			fmt.Sprintf("fault profile for THIS node's sends, name[:k=v,...] of %v (same spec+seed on all nodes = cluster-wide schedule)", guanyu.FaultNames()))
 		ckpt     = fs.String("checkpoint", "", "server only: write the final model here")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "per-quorum timeout")
 		parallel = fs.Int("parallel", 0, "kernel worker count for this node (0 = all CPUs, 1 = serial; results are identical at any setting)")
@@ -94,7 +98,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		role: *role, id: *id, listen: *listen, peers: peerMap,
 		fServers: *fServers, fWorkers: *fWorkers,
 		steps: *steps, batch: *batch, seed: *seed, examples: *examples,
-		byzMode: *byzMode, ckptPath: *ckpt, timeout: *timeout,
+		byzMode: *byzMode, faultSpec: *faultSpec, ckptPath: *ckpt, timeout: *timeout,
 	}, nil
 }
 
@@ -124,18 +128,22 @@ func parsePeers(s string) (map[string]string, error) {
 	return out, nil
 }
 
+// mkAttack resolves the -byzantine spec through the shared attack
+// registry; "signflip" keeps its historical node-level default scale.
 func mkAttack(mode string, seed uint64) (guanyu.Attack, error) {
 	switch mode {
 	case "":
 		return nil, nil
-	case "random":
-		return guanyu.NewRandomGaussian(100, seed), nil
 	case "signflip":
 		return guanyu.SignFlip{Scale: 30}, nil
-	case "silent":
-		return guanyu.Silent{}, nil
 	default:
-		return nil, fmt.Errorf("unknown -byzantine mode %q", mode)
+		mk, err := guanyu.AttackByName(mode, seed)
+		if err != nil {
+			return nil, fmt.Errorf("-byzantine: %w", err)
+		}
+		// Index 0 is correct here: seed already carries HashID(node id), so
+		// stateful attacks stay disjoint across Byzantine processes.
+		return mk(0), nil
 	}
 }
 
@@ -145,6 +153,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	att, err := mkAttack(cfg.byzMode, cfg.seed+guanyu.HashID(cfg.id))
+	if err != nil {
+		return err
+	}
+	// The fault seed is the deployment seed, NOT offset per node: every
+	// node derives the same cluster-wide fault schedule.
+	faults, err := guanyu.FaultsByName(cfg.faultSpec, cfg.seed)
 	if err != nil {
 		return err
 	}
@@ -165,6 +179,7 @@ func run(args []string, out io.Writer) error {
 		Examples: cfg.examples,
 		Seed:     cfg.seed,
 		Attack:   att,
+		Faults:   faults,
 		Timeout:  cfg.timeout,
 		OnListen: func(addr string) {
 			fmt.Fprintf(out, "%s listening on %s (%d servers, %d workers)\n",

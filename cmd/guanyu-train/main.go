@@ -40,11 +40,14 @@ func run(args []string, out io.Writer) error {
 		fServers   = fs.Int("fservers", 1, "declared Byzantine servers (guanyu mode)")
 		byzWorkers = fs.Int("byz-workers", 0, "actual Byzantine workers")
 		byzServers = fs.Int("byz-servers", 0, "actual Byzantine servers")
-		attackName = fs.String("attack", "random", "attack: random | signflip | scaled | zero | nan | twofaced | silent")
-		examples   = fs.Int("examples", 1500, "synthetic dataset size")
-		seed       = fs.Uint64("seed", 1, "run seed")
-		evalEvery  = fs.Int("eval-every", 10, "accuracy sampling period")
-		parallel   = fs.Int("parallel", 0, "kernel worker count (0 = all CPUs, 1 = serial; results are identical at any setting)")
+		attackName = fs.String("attack", "random",
+			fmt.Sprintf("Byzantine behaviour spec, name[:k=v,...] of %v (e.g. alie:z=1.2)", guanyu.AttackNames()))
+		faultSpec = fs.String("faults", "none",
+			fmt.Sprintf("network fault profile spec, name[:k=v,...] of %v (e.g. drop:p=0.05)", guanyu.FaultNames()))
+		examples  = fs.Int("examples", 1500, "synthetic dataset size")
+		seed      = fs.Uint64("seed", 1, "run seed")
+		evalEvery = fs.Int("eval-every", 10, "accuracy sampling period")
+		parallel  = fs.Int("parallel", 0, "kernel worker count (0 = all CPUs, 1 = serial; results are identical at any setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,10 +94,17 @@ func run(args []string, out io.Writer) error {
 		opts = append(opts, guanyu.WithAttackedWorkers(*byzWorkers, mk))
 	}
 	if *byzServers > 0 {
+		// Servers run the named behaviour directly; offset indices keep
+		// their generators disjoint from the Byzantine workers'.
 		opts = append(opts, guanyu.WithAttackedServers(*byzServers, func(i int) guanyu.Attack {
-			return guanyu.TwoFaced{Inner: mk(i + 100)}
+			return mk(i + 100)
 		}))
 	}
+	faults, err := guanyu.FaultsByName(*faultSpec, *seed)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, guanyu.WithFaults(faults))
 
 	d, err := guanyu.New(opts...)
 	if err != nil {

@@ -84,3 +84,46 @@ func TestAttackByNameCoversAll(t *testing.T) {
 		t.Fatal("bogus attack accepted")
 	}
 }
+
+func TestRunAdaptiveAttackWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro run")
+	}
+	var out strings.Builder
+	// fservers=0 keeps the parameter quorum slack (q=3 of 6 servers), so
+	// the profile's real message drops degrade instead of starving a
+	// quorum — the same topology the scenario matrix uses under faults.
+	err := run([]string{"-mode", "guanyu", "-steps", "20", "-batch", "8",
+		"-examples", "300", "-fservers", "0", "-byz-workers", "3",
+		"-attack", "alie:z=1.2", "-faults", "flaky"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "final accuracy") {
+		t.Fatalf("output missing final accuracy:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFaultSpecs(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-faults", "nope"}, &out); err == nil {
+		t.Fatal("bad fault profile accepted")
+	}
+	if err := run([]string{"-faults", "drop:q=1"}, &out); err == nil {
+		t.Fatal("bad fault parameter accepted")
+	}
+	if err := run([]string{"-attack", "alie:zz=3", "-byz-workers", "1"}, &out); err == nil {
+		t.Fatal("bad attack parameter accepted")
+	}
+}
+
+func TestFaultsByNameCoversAll(t *testing.T) {
+	for _, name := range guanyu.FaultNames() {
+		if _, err := guanyu.FaultsByName(name, 1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := guanyu.FaultsByName("bogus", 1); err == nil {
+		t.Fatal("bogus fault profile accepted")
+	}
+}

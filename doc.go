@@ -19,6 +19,15 @@
 //	)
 //	res, _ := d.Run(context.Background())
 //
+// Adversaries and network faults are first-class: Byzantine behaviours —
+// including the omniscient colluders (ALIE, inner-product manipulation,
+// mimic, anti-Krum) that observe the honest cluster through a ClusterView
+// before corrupting — are selected by spec via guanyu.AttackByName
+// ("alie:z=1.5"), and guanyu.WithFaults injects seeded message drops,
+// duplication, reordering, delay spikes and partitions into either runtime
+// (profiles via guanyu.FaultsByName). The scenario-matrix experiment
+// (guanyu-bench -exp matrix) runs the attack × rule × fault grid.
+//
 // Every hot kernel executes on a shared, size-aware worker pool. The worker
 // count defaults to runtime.NumCPU() and is controlled by
 // guanyu.SetParallelism, the guanyu.WithParallelism deployment option, or

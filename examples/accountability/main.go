@@ -14,13 +14,25 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"repro/guanyu"
 )
 
+type params struct {
+	examples, steps, batch int
+}
+
 func main() {
+	if err := run(os.Stdout, params{examples: 900, steps: 100, batch: 16}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer, p params) error {
 	susp := guanyu.NewSuspicion()
 	// Random sub-millisecond delays rotate quorum membership: without them,
 	// goroutine scheduling on a loaded box lets the same q̄ fastest workers
@@ -28,30 +40,31 @@ func main() {
 	lat := guanyu.NewLatencyModel(200e-6, 1.0, 0, 56)
 
 	d, err := guanyu.New(
-		guanyu.WithWorkload(guanyu.BlobWorkload(900, 51)),
+		guanyu.WithWorkload(guanyu.BlobWorkload(p.examples, 51)),
 		guanyu.WithRuntime(guanyu.Live),
 		guanyu.WithServers(6, 1),
 		guanyu.WithWorkers(9, 2),
 		guanyu.WithWorkerAttack(2, guanyu.ScaledNorm{Factor: 1e5}),
 		guanyu.WithWorkerAttack(7, guanyu.NewRandomGaussian(100, 54)),
 		guanyu.WithDelay(lat.DelayFunc(0, 1)),
-		guanyu.WithSteps(100),
-		guanyu.WithBatch(16),
+		guanyu.WithSteps(p.steps),
+		guanyu.WithBatch(p.batch),
 		guanyu.WithLR(guanyu.InverseTimeLR(0.2, 100)),
 		guanyu.WithTimeout(2*time.Minute),
 		guanyu.WithSeed(55),
 		guanyu.WithSuspicion(susp),
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := d.Run(context.Background())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("final accuracy despite 2 Byzantine workers: %.3f\n\n", res.FinalAccuracy)
-	fmt.Print(susp.Format())
-	fmt.Println("\nworkers wrk2 and wrk7 are the actually-Byzantine ones; their")
-	fmt.Println("exclusion rates give the operator an eviction signal the protocol")
-	fmt.Println("itself never needed.")
+	fmt.Fprintf(out, "final accuracy despite 2 Byzantine workers: %.3f\n\n", res.FinalAccuracy)
+	fmt.Fprint(out, susp.Format())
+	fmt.Fprintln(out, "\nworkers wrk2 and wrk7 are the actually-Byzantine ones; their")
+	fmt.Fprintln(out, "exclusion rates give the operator an eviction signal the protocol")
+	fmt.Fprintln(out, "itself never needed.")
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke test: the live accountability run must finish at tiny parameters
+// and produce the suspicion ranking.
+func TestAccountabilitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke run")
+	}
+	var out strings.Builder
+	if err := run(&out, params{examples: 300, steps: 15, batch: 8}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"final accuracy", "wrk2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,10 +1,13 @@
-// Asynchrony: GuanYu makes progress with unbounded delays and silent nodes.
+// Asynchrony: GuanYu makes progress with unbounded delays, silent nodes
+// and real network faults.
 //
 // This example runs the Live runtime — one goroutine per node over an
 // in-process network — with heavy-tailed message delays, one straggler
-// server whose links are 50x slower, and one server that never speaks at
-// all. Quorums (q ≤ n−f) let every round complete without waiting for the
-// slow or silent nodes; no timeout tuning is involved.
+// server whose links are 50x slower, one server that never speaks at all,
+// and the "flaky" fault profile really dropping, duplicating and
+// reordering messages on every link. Quorums (q ≤ n−f) let every round
+// complete without waiting for the slow, the silent or the lost; no
+// timeout tuning is involved.
 //
 // Run with: go run ./examples/asynchrony
 package main
@@ -12,43 +15,69 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"repro/guanyu"
 )
 
+type params struct {
+	examples, steps, batch int
+}
+
 func main() {
+	if err := run(os.Stdout, params{examples: 900, steps: 120, batch: 16}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer, p params) error {
 	// Heavy-tailed (log-normal, σ=1) millisecond-scale delays, with server
 	// ps4 straggling 50x behind everyone else.
 	lat := guanyu.NewLatencyModel(500e-6, 1.0, 0, 21)
 	lat.NodeSlowdown = map[string]float64{guanyu.ServerID(4): 50}
 
+	// Seeded fault injection on top: ~1% real message loss, duplicates the
+	// quorum collector must dedup, reordering and delay spikes.
+	faults, err := guanyu.FaultsByName("flaky", 21)
+	if err != nil {
+		return err
+	}
+
+	// Declared f=0 keeps the quorums at their minimum (q=3 of 6 per role):
+	// real message loss needs that slack, because a dropped message is
+	// never retransmitted — a quorum with zero slack would deadlock on the
+	// first lost link. The silent server is tolerated the same way any
+	// crashed node is: nobody ever waits for it.
 	d, err := guanyu.New(
-		guanyu.WithWorkload(guanyu.BlobWorkload(900, 11)),
+		guanyu.WithWorkload(guanyu.BlobWorkload(p.examples, 11)),
 		guanyu.WithRuntime(guanyu.Live),
-		guanyu.WithServers(6, 1),
-		guanyu.WithWorkers(6, 1),
+		guanyu.WithServers(6, 0),
+		guanyu.WithWorkers(6, 0),
 		// ps5 is Byzantine-silent: it never sends a single message.
 		guanyu.WithServerAttack(5, guanyu.Silent{}),
 		guanyu.WithDelay(lat.DelayFunc(0, 1)),
-		guanyu.WithSteps(120),
-		guanyu.WithBatch(16),
+		guanyu.WithFaults(faults),
+		guanyu.WithSteps(p.steps),
+		guanyu.WithBatch(p.batch),
 		guanyu.WithLR(guanyu.InverseTimeLR(0.2, 100)),
 		guanyu.WithTimeout(2*time.Minute),
 		guanyu.WithSeed(14),
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := d.Run(context.Background())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("live run: %d steps, %d honest servers finished in %v\n",
+	fmt.Fprintf(out, "live run: %d steps, %d honest servers finished in %v\n",
 		res.Updates, len(res.ServerParams), res.WallTime.Round(time.Millisecond))
-	fmt.Printf("final accuracy: %.3f (straggler 50x slow, one server silent)\n",
+	fmt.Fprintf(out, "final accuracy: %.3f (straggler 50x slow, one server silent, flaky network)\n",
 		res.FinalAccuracy)
-	fmt.Println("progress requires only quorums of q=5 servers and q̄=5 workers —")
-	fmt.Println("the protocol never waits for the slowest or the silent.")
+	fmt.Fprintln(out, "progress requires only quorums of q=3 servers and q̄=3 workers —")
+	fmt.Fprintln(out, "the protocol never waits for the slowest, the silent or the lost.")
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke test: the live runtime under heavy-tailed delays, a straggler, a
+// silent server AND real injected faults must finish at tiny parameters.
+func TestAsynchronySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke run")
+	}
+	var out strings.Builder
+	if err := run(&out, params{examples: 300, steps: 12, batch: 8}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"live run: 12 steps", "final accuracy"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke test: the whole attack gallery — including the omniscient
+// adversaries — must run end to end at tiny parameters and exit cleanly.
+func TestByzantineGallerySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke run")
+	}
+	var out strings.Builder
+	if err := run(&out, params{examples: 300, steps: 8, batch: 8}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"attack", "alie z=1.5", "anti-krum", "GuanYu holds"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

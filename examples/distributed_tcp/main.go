@@ -14,36 +14,49 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"repro/guanyu"
 )
 
+type params struct {
+	examples, steps, batch int
+}
+
 func main() {
+	if err := run(os.Stdout, params{examples: 900, steps: 60, batch: 16}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer, p params) error {
 	const numServers, numWorkers = 6, 6
 	d, err := guanyu.New(
-		guanyu.WithWorkload(guanyu.BlobWorkload(900, 31)),
+		guanyu.WithWorkload(guanyu.BlobWorkload(p.examples, 31)),
 		guanyu.WithRuntime(guanyu.Live),
 		guanyu.WithTCPTransport(),
 		guanyu.WithServers(numServers, 1),
 		guanyu.WithWorkers(numWorkers, 1),
 		guanyu.WithWorkerAttack(numWorkers-1, guanyu.SignFlip{Scale: 10}),
-		guanyu.WithSteps(60),
-		guanyu.WithBatch(16),
+		guanyu.WithSteps(p.steps),
+		guanyu.WithBatch(p.batch),
 		guanyu.WithLR(guanyu.ConstantLR(0.2)),
 		guanyu.WithTimeout(time.Minute),
 		guanyu.WithSeed(34),
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := d.Run(context.Background())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("TCP deployment: %d servers + %d workers over %d real sockets\n",
+	fmt.Fprintf(out, "TCP deployment: %d servers + %d workers over %d real sockets\n",
 		numServers, numWorkers, numServers+numWorkers)
-	fmt.Printf("final accuracy with one Byzantine worker: %.3f (in %v)\n",
+	fmt.Fprintf(out, "final accuracy with one Byzantine worker: %.3f (in %v)\n",
 		res.FinalAccuracy, res.WallTime.Round(time.Millisecond))
+	return nil
 }

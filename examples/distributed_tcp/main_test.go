@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke test: the full 12-node loopback-TCP deployment must finish at tiny
+// parameters and exit cleanly (all sockets torn down).
+func TestDistributedTCPSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke run")
+	}
+	var out strings.Builder
+	if err := run(&out, params{examples: 300, steps: 8, batch: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "TCP deployment: 6 servers + 6 workers") {
+		t.Fatalf("output missing deployment line:\n%s", out.String())
+	}
+}

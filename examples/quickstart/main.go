@@ -14,15 +14,28 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/guanyu"
 )
 
+// params sizes the example; the smoke test shrinks them.
+type params struct {
+	examples, steps, batch int
+}
+
 func main() {
+	if err := run(os.Stdout, params{examples: 1200, steps: 150, batch: 16}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer, p params) error {
 	// A workload = model template + train/test data. ImageWorkload is the
 	// CIFAR-10 stand-in: 10 procedurally generated image classes.
-	workload := guanyu.ImageWorkload(1200, 1)
+	workload := guanyu.ImageWorkload(p.examples, 1)
 
 	// GuanYu deployment: declared f̄=5 Byzantine workers, f=1 Byzantine
 	// server (quorums q̄=13, q=5 follow from 2f+3), Multi-Krum gradient
@@ -39,45 +52,46 @@ func main() {
 			// Equivocates: honest model to half the workers, garbage to the rest.
 			return guanyu.TwoFaced{Inner: guanyu.NewRandomGaussian(100, 7)}
 		}),
-		guanyu.WithSteps(150),
-		guanyu.WithBatch(16),
+		guanyu.WithSteps(p.steps),
+		guanyu.WithBatch(p.batch),
 		guanyu.WithSeed(1),
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := d.Run(context.Background())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("GuanYu under attack (5 Byzantine workers, 1 Byzantine server):")
-	for _, p := range res.Curve.Points {
-		fmt.Printf("  update %4d  t=%7.2fs  accuracy %.3f\n", p.Step, p.Time, p.Accuracy)
+	fmt.Fprintln(out, "GuanYu under attack (5 Byzantine workers, 1 Byzantine server):")
+	for _, pt := range res.Curve.Points {
+		fmt.Fprintf(out, "  update %4d  t=%7.2fs  accuracy %.3f\n", pt.Step, pt.Time, pt.Accuracy)
 	}
-	fmt.Printf("final accuracy: %.3f\n\n", res.FinalAccuracy)
+	fmt.Fprintf(out, "final accuracy: %.3f\n\n", res.FinalAccuracy)
 
 	// The same attack against the unprotected baseline: one server, mean
 	// aggregation, no Byzantine filtering.
 	vanilla, err := guanyu.New(
-		guanyu.WithWorkload(guanyu.ImageWorkload(1200, 1)),
+		guanyu.WithWorkload(guanyu.ImageWorkload(p.examples, 1)),
 		guanyu.WithVanilla(),
 		guanyu.WithOptimizedRuntime(),
 		guanyu.WithWorkers(18, 0),
 		guanyu.WithAttackedWorkers(1, func(int) guanyu.Attack {
 			return guanyu.SignFlip{Scale: 30}
 		}),
-		guanyu.WithSteps(150),
-		guanyu.WithBatch(16),
+		guanyu.WithSteps(p.steps),
+		guanyu.WithBatch(p.batch),
 		guanyu.WithSeed(1),
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	vres, err := vanilla.Run(context.Background())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("vanilla baseline with just ONE Byzantine worker: final accuracy %.3f\n",
+	fmt.Fprintf(out, "vanilla baseline with just ONE Byzantine worker: final accuracy %.3f\n",
 		vres.FinalAccuracy)
-	fmt.Println("(GuanYu converges; the vanilla deployment does not — Figure 4 of the paper.)")
+	fmt.Fprintln(out, "(GuanYu converges; the vanilla deployment does not — Figure 4 of the paper.)")
+	return nil
 }

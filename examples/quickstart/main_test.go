@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke test: the example must run end to end at tiny parameters and exit
+// cleanly. Wired into the race-enabled CI test step like every other test.
+func TestQuickstartSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke run")
+	}
+	var out strings.Builder
+	if err := run(&out, params{examples: 300, steps: 12, batch: 8}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GuanYu under attack", "final accuracy", "vanilla baseline"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -87,3 +87,30 @@ type NonIIDRow = experiments.NonIIDRow
 
 // NonIID probes behaviour outside the paper's IID assumption.
 func NonIID(s ExperimentScale) ([]NonIIDRow, error) { return experiments.NonIID(s) }
+
+// MatrixSpec selects the scenario-matrix grid axes: attack specs, gradient
+// GAR names, and fault-profile specs (registry syntax, see AttackByName and
+// FaultsByName).
+type MatrixSpec = experiments.MatrixSpec
+
+// MatrixResult is the scenario-matrix grid with per-cell accuracy or
+// breakdown class.
+type MatrixResult = experiments.MatrixResult
+
+// MatrixCell is one scenario-matrix grid point.
+type MatrixCell = experiments.MatrixCell
+
+// DefaultMatrixSpec is the standard attack × GAR × fault grid.
+func DefaultMatrixSpec() MatrixSpec { return experiments.DefaultMatrixSpec() }
+
+// SmokeMatrixSpec is the smallest grid cell, sized for CI smoke jobs.
+func SmokeMatrixSpec() MatrixSpec { return experiments.SmokeMatrixSpec() }
+
+// Matrix runs the scenario-matrix experiment: every (attack, rule, fault)
+// cell as an independent deterministic simulation, concurrently, with
+// per-cell breakdowns captured in the result instead of aborting the grid.
+// Results are bit-identical at any parallelism and across reruns with the
+// same seed.
+func Matrix(s ExperimentScale, spec MatrixSpec) (*MatrixResult, error) {
+	return experiments.Matrix(s, spec)
+}

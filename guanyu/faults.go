@@ -1,0 +1,61 @@
+package guanyu
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/transport"
+)
+
+// FaultProfile parameterises seeded network fault injection: message
+// drops, duplication, reordering, bounded delay spikes and temporary
+// partitions. The zero value injects nothing. Every decision is a pure
+// hash of (seed, step, sender, receiver), so a fault schedule reproduces
+// bit-for-bit across reruns and at any parallelism. See
+// transport.FaultConfig for field semantics.
+type FaultProfile = transport.FaultConfig
+
+// WithFaults injects the fault profile into the deployment's network:
+//
+//   - under Sim, drops and partition cuts turn into +Inf arrival times the
+//     quorum discipline must absorb, and delay spikes stretch the virtual
+//     clock (duplication and reordering are no-ops there — the simulator
+//     dedups by construction and has no FIFO order to violate);
+//   - under Live (in-process or TCP), every node's send path really
+//     drops, duplicates, reorders and delays messages.
+//
+// Faults apply to honest traffic only: the adversary's covert network is
+// ideal by assumption, so faulting it would weaken the threat model.
+// Compose with WithDelay for background latency. A zero-valued profile is
+// accepted and injects nothing.
+func WithFaults(p FaultProfile) Option {
+	return func(d *Deployment) error {
+		d.faults = transport.NewFaultInjector(p)
+		return nil
+	}
+}
+
+// FaultNames lists the fault-profile names FaultsByName accepts.
+func FaultNames() []string { return transport.FaultNames() }
+
+// FaultsByName resolves a fault-profile spec — "name" or "name:k=v,..." —
+// into a FaultProfile, mirroring AttackByName for the fault registry:
+//
+//	none                    no faults (the zero profile)
+//	drop:p=0.05             5% seeded message loss
+//	delay:p=0.2,spike=0.01  20% of messages spiked up to 10ms
+//	partition:every=25,for=2  2-step partition every 25 steps
+//	flaky / chaos           combined mild / heavy profiles
+//
+// The profile's Seed is set from the seed argument.
+func FaultsByName(spec string, seed uint64) (FaultProfile, error) {
+	name, params, err := attack.ParseSpec(spec)
+	if err != nil {
+		return FaultProfile{}, fmt.Errorf("guanyu: fault spec %q: %w", spec, err)
+	}
+	p, err := transport.FaultByName(name, params, seed)
+	if err != nil {
+		return FaultProfile{}, fmt.Errorf("guanyu: %w", err)
+	}
+	return p, nil
+}

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	igar "repro/internal/gar"
+	"repro/internal/transport"
 )
 
 // Deployment is a fully validated description of one GuanYu (or vanilla
@@ -76,6 +77,7 @@ type Deployment struct {
 	runtime   Runner
 	timeout   time.Duration
 	delay     DelayFunc
+	faults    *transport.FaultInjector
 	suspicion *Suspicion
 	tcp       bool
 

@@ -45,8 +45,15 @@ type NodeConfig struct {
 	Examples int
 	// Seed is the deployment seed, shared by all processes.
 	Seed uint64
-	// Attack, when non-nil, makes THIS node Byzantine.
+	// Attack, when non-nil, makes THIS node Byzantine. Omniscient attacks
+	// degrade to their local-knowledge fallback here: an adversary spanning
+	// OS processes would need its own covert channel, which this runtime
+	// does not model (the in-process runtimes do; see WithFaults/Live).
 	Attack Attack
+	// Faults injects seeded network faults into THIS node's send path
+	// (zero value: none). Arm all nodes with the same profile and seed for
+	// a cluster-wide schedule.
+	Faults FaultProfile
 	// Timeout bounds each quorum wait (default 5 minutes).
 	Timeout time.Duration
 	// LR overrides the learning-rate schedule (servers only; default
@@ -145,6 +152,11 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 		return nil, err
 	}
 	defer node.Close()
+	ep := transport.NewFaultInjector(cfg.Faults).Wrap(node)
+	// Closing the wrapper first flushes reorder-held and delay-spiked
+	// messages before the sockets go away: this process may be the last
+	// sender its peers' final quorums are waiting on.
+	defer ep.Close()
 	for id, addr := range cfg.Peers {
 		if id != cfg.ID {
 			if err := node.AddPeer(id, addr); err != nil {
@@ -174,7 +186,7 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 				peersOnly = append(peersOnly, id)
 			}
 		}
-		theta, err := cluster.RunServer(node, cluster.ServerConfig{
+		theta, err := cluster.RunServer(ep, cluster.ServerConfig{
 			ID: cfg.ID, Workers: workers, Peers: peersOnly,
 			Init:            w.Model.ParamVector(),
 			GradRule:        igar.MultiKrum{F: cfg.FWorkers},
@@ -199,7 +211,7 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			res.Accuracy = Accuracy(eval, w.Test.X, w.Test.Labels)
 		}
 	case "worker":
-		err := cluster.RunWorker(node, cluster.WorkerConfig{
+		err := cluster.RunWorker(ep, cluster.WorkerConfig{
 			ID: cfg.ID, Servers: servers,
 			Model:        w.Model.Clone(),
 			Sampler:      dataset.NewSampler(w.Train, tensor.NewRNG(cfg.Seed^hashID(cfg.ID))),

@@ -72,6 +72,7 @@ func (simRunner) Run(ctx context.Context, d *Deployment) (*Result, error) {
 	}
 	cfg.DisableServerExchange = d.noExchange
 	cfg.Cost.OptimizedRuntime = d.optimized
+	cfg.Faults = d.faults
 	res, err := core.RunContext(ctx, cfg)
 	if err != nil {
 		return nil, err
@@ -119,6 +120,7 @@ func (liveRunner) Run(ctx context.Context, d *Deployment) (*Result, error) {
 			Rule:          d.gradRule(),
 			ParamRule:     d.paramRule(),
 			Delay:         d.delay,
+			Faults:        d.faults,
 			Timeout:       d.timeout,
 			Seed:          d.seed,
 			Suspicion:     d.suspicion,
@@ -213,6 +215,9 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 		lr = InverseTimeLR(0.05, 200)
 	}
 
+	serverView, workerView := cluster.AdversaryViews(
+		d.fServers, d.serverAttacks, d.fWorkers, d.workerAttacks)
+
 	type serverOut struct {
 		index int
 		theta tensor.Vector
@@ -244,15 +249,26 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 			Timeout:         timeout,
 			Attack:          d.serverAttacks[i],
 			Momentum:        d.momentum,
+			View:            serverView,
 		}
 		if scfg.Attack == nil {
 			scfg.Suspicion = d.suspicion
 		}
 		idx := i
+		var sep transport.Endpoint = nodes[scfg.ID]
+		if scfg.Attack == nil {
+			// Faults hit honest traffic only (the adversary's covert network
+			// is ideal, as in the simulator).
+			sep = d.faults.Wrap(sep)
+		}
 		wg.Add(1)
 		go func() {
+			// Closing the wrapper flushes reorder-held and delay-spiked
+			// messages while the sockets are still up; the raw nodes are
+			// closed by the deferred closeAll.
+			defer sep.Close()
 			defer wg.Done()
-			theta, err := cluster.RunServer(nodes[scfg.ID], scfg)
+			theta, err := cluster.RunServer(sep, scfg)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -276,11 +292,17 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 			Steps:        d.steps,
 			Timeout:      timeout,
 			Attack:       d.workerAttacks[j],
+			View:         workerView,
+		}
+		var wep transport.Endpoint = nodes[wcfg.ID]
+		if wcfg.Attack == nil {
+			wep = d.faults.Wrap(wep)
 		}
 		wg.Add(1)
 		go func() {
+			defer wep.Close()
 			defer wg.Done()
-			if err := cluster.RunWorker(nodes[wcfg.ID], wcfg); err != nil {
+			if err := cluster.RunWorker(wep, wcfg); err != nil {
 				mu.Lock()
 				runErrs = append(runErrs, err)
 				mu.Unlock()

@@ -1,0 +1,141 @@
+package attack
+
+import (
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// This file implements the Byzantine *parameter-server* behaviours of the
+// threat model: a corrupt server does not fabricate gradients, it abuses
+// its broadcast position — telling different workers different things
+// (equivocation), serving models from the past (stale replay), or nudging
+// the model off-course so slowly that no single message is an outlier
+// (slow drift). All three also type-check as worker behaviours; they are
+// catalogued here because their leverage comes from the server role.
+
+// Equivocate sends a *different* corruption to every receiver: the honest
+// vector plus Gaussian noise drawn from a generator keyed on (step,
+// receiver). Unlike TwoFaced — which partitions receivers into two fixed
+// camps — no two receivers ever see the same vector, the strongest form of
+// the paper's "different (bad) models to different workers" behaviour. The
+// keying makes the attack deterministic: the same (step, receiver) pair
+// always produces the same lie, in any runtime at any parallelism.
+type Equivocate struct {
+	// Std is the per-coordinate noise magnitude (default 1 when 0).
+	Std float64
+	// Seed isolates this node's lies from other equivocators'.
+	Seed uint64
+}
+
+var _ Attack = Equivocate{}
+
+// Name implements Attack.
+func (Equivocate) Name() string { return "equivocate" }
+
+// Corrupt implements Attack.
+func (a Equivocate) Corrupt(honest tensor.Vector, step int, receiver string) tensor.Vector {
+	std := a.Std
+	if std == 0 {
+		std = 1
+	}
+	rng := tensor.NewRNG(mix(a.Seed, uint64(step)+1, hashString(receiver)))
+	out := tensor.Clone(honest)
+	noise := rng.NormVec(make([]float64, len(out)), 0, std)
+	tensor.AddInPlace(out, noise)
+	return out
+}
+
+// StaleReplay records the honest vector of every step and replays the one
+// from Age steps ago — a server that is not lying about values, only about
+// *time*. Against plain averaging this drags the cluster toward stale
+// models; quorum-based runtimes should absorb it like any slow node.
+// Until enough history exists the node behaves honestly.
+type StaleReplay struct {
+	// Age is how many steps old the replayed vector is (default 5 when 0).
+	Age int
+
+	mu   sync.Mutex
+	hist map[int]tensor.Vector
+}
+
+var _ Attack = (*StaleReplay)(nil)
+
+// Name implements Attack.
+func (*StaleReplay) Name() string { return "stale-replay" }
+
+// Corrupt implements Attack.
+func (a *StaleReplay) Corrupt(honest tensor.Vector, step int, _ string) tensor.Vector {
+	age := a.Age
+	if age <= 0 {
+		age = 5
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.hist == nil {
+		a.hist = make(map[int]tensor.Vector)
+	}
+	if _, ok := a.hist[step]; !ok {
+		a.hist[step] = tensor.Clone(honest)
+		for old := range a.hist {
+			if old < step-age-sharedViewWindow {
+				delete(a.hist, old)
+			}
+		}
+	}
+	if stale, ok := a.hist[step-age]; ok {
+		return tensor.Clone(stale)
+	}
+	return tensor.Clone(honest)
+}
+
+// SlowDrift sends the honest vector plus a bias that grows linearly with
+// the step count, always along one fixed random direction. Each individual
+// message deviates too little for outlier filters to flag, but the bias
+// compounds — the stealth profile of a long-game model-poisoning server.
+type SlowDrift struct {
+	// Delta is the per-step drift magnitude (default 0.01 when 0).
+	Delta float64
+	// Seed picks the drift direction.
+	Seed uint64
+
+	mu  sync.Mutex
+	dir tensor.Vector
+}
+
+var _ Attack = (*SlowDrift)(nil)
+
+// Name implements Attack.
+func (*SlowDrift) Name() string { return "slow-drift" }
+
+// Corrupt implements Attack.
+func (a *SlowDrift) Corrupt(honest tensor.Vector, step int, _ string) tensor.Vector {
+	delta := a.Delta
+	if delta == 0 {
+		delta = 0.01
+	}
+	a.mu.Lock()
+	if len(a.dir) != len(honest) {
+		rng := tensor.NewRNG(mix(a.Seed, 0x5d1f7, 0))
+		a.dir = rng.NormVec(make([]float64, len(honest)), 0, 1)
+		if n := tensor.Norm2(a.dir); n > 0 {
+			tensor.ScaleInPlace(a.dir, 1/n)
+		}
+	}
+	dir := a.dir
+	a.mu.Unlock()
+	out := tensor.Clone(honest)
+	tensor.AXPY(out, delta*float64(step), dir)
+	return out
+}
+
+// mix folds three words into one 64-bit seed (splitmix64 finalisers).
+func mix(a, b, c uint64) uint64 {
+	x := a ^ (b * 0x9e3779b97f4a7c15) ^ (c * 0xbf58476d1ce4e5b9)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// FuzzInboundValidator pins down the message-boundary sanitisation every
+// honest node installs: payloads of the wrong dimension — including
+// zero-length — or containing NaN/±Inf must be REJECTED (treated as
+// silence), and everything else accepted; the decision must never panic.
+// This boundary is why the aggregation kernels downstream may assume
+// shape-consistent inputs (see the internal/gar fuzz targets).
+func FuzzInboundValidator(f *testing.F) {
+	f.Add(3, []byte{})
+	f.Add(0, []byte{})
+	f.Add(2, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	nan := make([]byte, 16)
+	binary.LittleEndian.PutUint64(nan, math.Float64bits(math.NaN()))
+	binary.LittleEndian.PutUint64(nan[8:], math.Float64bits(1))
+	f.Add(2, nan)
+
+	f.Fuzz(func(t *testing.T, dim int, payload []byte) {
+		if dim < 0 || dim > 1024 {
+			return
+		}
+		vec := make(tensor.Vector, len(payload)/8)
+		for i := range vec {
+			vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8 : i*8+8]))
+		}
+		m := transport.Message{From: "wrk0", Kind: transport.KindGradient, Step: 1, Vec: vec}
+		ok := validator(dim)(m)
+		wellFormed := len(vec) == dim && tensor.IsFinite(vec)
+		if ok != wellFormed {
+			t.Fatalf("validator(%d) = %v for len=%d finite=%v",
+				dim, ok, len(vec), tensor.IsFinite(vec))
+		}
+	})
+}

@@ -52,6 +52,10 @@ type LiveConfig struct {
 	ParamRule gar.Rule
 	// Delay optionally injects per-message delivery delays (asynchrony).
 	Delay transport.DelayFunc
+	// Faults optionally injects seeded network faults (drops, duplication,
+	// reordering, delay spikes, temporary partitions) into every node's
+	// send path; composes with Delay.
+	Faults *transport.FaultInjector
 	// Timeout bounds each quorum wait. 0 defaults to 30 s; negative waits
 	// forever.
 	Timeout time.Duration
@@ -183,6 +187,12 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 	rng := tensor.NewRNG(cfg.Seed)
 	theta0 := cfg.Model.ParamVector()
 
+	// Omniscient attacks get one shared view per message class: honest
+	// nodes' vectors are published to it as they are produced, Byzantine
+	// nodes snapshot it before corrupting (see attack.SharedView).
+	serverView, workerView := AdversaryViews(
+		cfg.FServers, cfg.ServerAttacks, cfg.FWorkers, cfg.WorkerAttacks)
+
 	workerIDs := make([]string, cfg.NumWorkers)
 	for j := range workerIDs {
 		workerIDs[j] = WorkerID(j)
@@ -234,17 +244,24 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 			Timeout:         cfg.timeout(),
 			Attack:          cfg.ServerAttacks[i],
 			Momentum:        cfg.Momentum,
+			View:            serverView,
 		}
 		if scfg.Attack == nil {
 			scfg.Suspicion = cfg.Suspicion // honest servers report exclusions
 			scfg.Trace = cfg.Trace
 		}
 		idx := i
+		sep := ep
+		if scfg.Attack == nil {
+			// Faults hit honest traffic only — the adversary's covert
+			// network is ideal by assumption, exactly as in the simulator.
+			sep = cfg.Faults.Wrap(ep)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer ep.Close()
-			theta, err := RunServer(ep, scfg)
+			defer sep.Close()
+			theta, err := RunServer(sep, scfg)
 			if err != nil {
 				fail(err)
 				return
@@ -274,12 +291,17 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 			Steps:        cfg.Steps,
 			Timeout:      cfg.timeout(),
 			Attack:       cfg.WorkerAttacks[j],
+			View:         workerView,
+		}
+		wep := ep
+		if wcfg.Attack == nil {
+			wep = cfg.Faults.Wrap(ep)
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer ep.Close()
-			if err := RunWorker(ep, wcfg); err != nil {
+			defer wep.Close()
+			if err := RunWorker(wep, wcfg); err != nil {
 				fail(err)
 			}
 		}()
@@ -308,4 +330,29 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 	}
 	res.Final = final
 	return res, nil
+}
+
+// AdversaryViews builds the shared omniscient views for an in-process
+// deployment — one per message class, and only when some Byzantine node can
+// actually use one (publishing costs honest nodes a clone per step
+// otherwise). The TCP-in-one-process runtime shares them too; true
+// multi-process deployments run without (see ServerConfig.View).
+func AdversaryViews(fServers int, serverAttacks map[int]attack.Attack,
+	fWorkers int, workerAttacks map[int]attack.Attack) (serverView, workerView *attack.SharedView) {
+	if anyOmniscient(serverAttacks) {
+		serverView = attack.NewSharedView(fServers, len(serverAttacks))
+	}
+	if anyOmniscient(workerAttacks) {
+		workerView = attack.NewSharedView(fWorkers, len(workerAttacks))
+	}
+	return serverView, workerView
+}
+
+func anyOmniscient(attacks map[int]attack.Attack) bool {
+	for _, a := range attacks {
+		if _, ok := a.(attack.Omniscient); ok {
+			return true
+		}
+	}
+	return false
 }

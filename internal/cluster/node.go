@@ -91,6 +91,14 @@ type ServerConfig struct {
 	// Attack, when non-nil, makes this server Byzantine: every outbound
 	// message passes through it.
 	Attack attack.Attack
+	// View, when non-nil, is the omniscient adversary's window onto the
+	// honest servers' parameter vectors: honest servers publish their θ to
+	// it each step, Byzantine servers running an attack.Omniscient snapshot
+	// it before corrupting. In-process runtimes share one view per message
+	// class; multi-process deployments leave it nil (an adversary spanning
+	// processes would need its own covert channel), in which case
+	// omniscient attacks degrade to their local-knowledge fallback.
+	View *attack.SharedView
 	// Suspicion, when non-nil and GradRule is selective (e.g. Multi-Krum),
 	// accumulates which workers' gradients the rule excluded each round —
 	// the accountability signal that surfaces actually-Byzantine senders.
@@ -121,7 +129,16 @@ func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
 		col.Advance(t)
 		cfg.Trace.Record(cfg.ID, t, trace.EventStepStart, "")
 
-		// Phase 1: publish the current model to every worker.
+		// Phase 1: publish the current model to every worker. Honest servers
+		// expose θ to the omniscient adversary's view; a Byzantine server
+		// snapshots whatever honest state is already visible this step.
+		if cfg.View != nil {
+			if cfg.Attack == nil {
+				cfg.View.Publish(t, theta)
+			} else if o, ok := cfg.Attack.(attack.Omniscient); ok {
+				o.Observe(cfg.View.Snapshot(t))
+			}
+		}
 		for _, w := range cfg.Workers {
 			send(ep, cfg.Attack, transport.KindParams, t, w, theta)
 		}
@@ -165,6 +182,11 @@ func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
 
 		// Phase 3: contraction round across servers.
 		if cfg.QuorumParams > 1 && len(cfg.Peers) > 0 {
+			if cfg.View != nil {
+				if att, ok := cfg.Attack.(attack.Omniscient); ok {
+					att.Observe(cfg.View.Snapshot(t))
+				}
+			}
 			for _, p := range cfg.Peers {
 				send(ep, cfg.Attack, transport.KindPeerParams, t, p, theta)
 			}
@@ -209,6 +231,10 @@ type WorkerConfig struct {
 	Timeout time.Duration
 	// Attack, when non-nil, makes this worker Byzantine.
 	Attack attack.Attack
+	// View mirrors ServerConfig.View for the gradient message class:
+	// honest workers publish their gradient each step, omniscient
+	// Byzantine workers snapshot the set published so far.
+	View *attack.SharedView
 }
 
 // RunWorker executes the worker loop.
@@ -241,7 +267,16 @@ func RunWorker(ep transport.Endpoint, cfg WorkerConfig) error {
 		xs, labels := cfg.Sampler.Batch(cfg.Batch)
 		_, grad := nn.BatchGradient(cfg.Model, xs, labels)
 
-		// Phase 2: broadcast the gradient to every server.
+		// Phase 2: broadcast the gradient to every server. Honest workers
+		// expose it to the adversary's view first; omniscient Byzantine
+		// workers snapshot the honest gradients visible so far.
+		if cfg.View != nil {
+			if cfg.Attack == nil {
+				cfg.View.Publish(t, grad)
+			} else if o, ok := cfg.Attack.(attack.Omniscient); ok {
+				o.Observe(cfg.View.Snapshot(t))
+			}
+		}
 		for _, s := range cfg.Servers {
 			send(ep, cfg.Attack, transport.KindGradient, t, s, grad)
 		}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/gar"
+	"repro/internal/tensor"
+)
+
+// recordingOmniscient captures the views the engine feeds it, then behaves
+// like a sign-flip.
+type recordingOmniscient struct {
+	mu    sync.Mutex
+	views []attack.ClusterView
+}
+
+func (r *recordingOmniscient) Name() string { return "recording" }
+
+func (r *recordingOmniscient) Observe(v attack.ClusterView) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.views = append(r.views, v)
+}
+
+func (r *recordingOmniscient) Corrupt(honest tensor.Vector, _ int, _ string) tensor.Vector {
+	return tensor.Scale(honest, -1)
+}
+
+func TestSimFeedsOmniscientViews(t *testing.T) {
+	w := BlobWorkload(300, 3)
+	cfg := GuanYu(w, 1, 1, 4, 4, 3)
+	workerRec := &recordingOmniscient{}
+	serverRec := &recordingOmniscient{}
+	cfg.WorkerAttacks = map[int]attack.Attack{0: workerRec}
+	cfg.ServerAttacks = map[int]attack.Attack{0: serverRec}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker attacks see one complete honest-gradient view per step.
+	if len(workerRec.views) != cfg.Steps {
+		t.Fatalf("worker attack observed %d views, want %d", len(workerRec.views), cfg.Steps)
+	}
+	honestWorkers := cfg.NumWorkers - 1
+	for i, v := range workerRec.views {
+		if v.Step() != i {
+			t.Fatalf("view %d has step %d", i, v.Step())
+		}
+		if len(v.Honest()) != honestWorkers {
+			t.Fatalf("view %d sees %d honest gradients, want %d", i, len(v.Honest()), honestWorkers)
+		}
+		if v.F() != cfg.FWorkers || v.Colluders() != 1 {
+			t.Fatalf("view %d metadata: f=%d colluders=%d", i, v.F(), v.Colluders())
+		}
+	}
+	// Server attacks are refreshed before phase 1 AND before the phase-3
+	// contraction round: two views per step, full honest-θ visibility.
+	if len(serverRec.views) != 2*cfg.Steps {
+		t.Fatalf("server attack observed %d views, want %d", len(serverRec.views), 2*cfg.Steps)
+	}
+	honestServers := cfg.NumServers - 1
+	for i, v := range serverRec.views {
+		if len(v.Honest()) != honestServers {
+			t.Fatalf("server view %d sees %d honest thetas, want %d", i, len(v.Honest()), honestServers)
+		}
+	}
+}
+
+// The adaptive adversaries must actually run end-to-end under the robust
+// deployment: GuanYu absorbs them where the unprotected mean baseline is
+// destroyed by the same collusion.
+func TestSimAdaptiveAttacksEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro run")
+	}
+	for _, spec := range []string{"alie:z=1.5", "ipm:eps=3", "antikrum", "mimic"} {
+		mk, err := attack.FromSpec(spec, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := GuanYu(BlobWorkload(400, 5), 5, 0, 40, 8, 5)
+		cfg = WithByzantineWorkers(cfg, 5, mk)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if !tensor.IsFinite(res.Final) {
+			t.Fatalf("%s: poisoned the robust deployment", spec)
+		}
+		if res.FinalAccuracy < 0.6 {
+			t.Fatalf("%s: GuanYu accuracy %.3f under adaptive collusion", spec, res.FinalAccuracy)
+		}
+	}
+
+	// The same inner-product collusion against the unprotected mean: one
+	// epsilon large enough flips the aggregate's sign and training never
+	// converges.
+	mk, err := attack.FromSpec("ipm:eps=5", 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GuanYu(BlobWorkload(400, 5), 5, 0, 40, 8, 5)
+	cfg.Rule = gar.Mean{}
+	cfg = WithByzantineWorkers(cfg, 5, mk)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy > 0.6 {
+		t.Fatalf("mean aggregation should not survive ipm:eps=5, accuracy %.3f", res.FinalAccuracy)
+	}
+}

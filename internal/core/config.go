@@ -179,6 +179,13 @@ type Config struct {
 	// Cost prices the virtual clock; zero value gets DefaultCostModel(Seed).
 	Cost CostModel
 
+	// Faults optionally injects seeded network faults into honest traffic:
+	// drops and partition cuts become +Inf arrivals the quorum discipline
+	// must absorb, delay spikes push arrivals out. Byzantine messages are
+	// exempt (the adversary's covert network is ideal by assumption). Nil
+	// injects nothing.
+	Faults *transport.FaultInjector
+
 	// Seed drives every generator in the run.
 	Seed uint64
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/attack"
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/gar"
@@ -145,6 +146,12 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		eta := lr(t)
 
+		// Omniscient server attacks see every honest parameter vector of the
+		// step before corrupting (the adversary reads all honest state; it
+		// just cannot speak for honest nodes).
+		attack.ObserveAll(cfg.ServerAttacks,
+			attack.NewStepView(t, honestThetas(), cfg.FServers, len(cfg.ServerAttacks)))
+
 		// ---- Phase 1: servers → workers, median, gradient computation ----
 		// Arrival time of server i's parameters at worker j.
 		grads := make(map[int]tensor.Vector, len(honestWorkers))
@@ -164,8 +171,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					continue
 				}
 				payloads[i] = theta[i]
-				arrivals[i] = clockS[i] + ser +
-					cost.Latency.Sample(cluster.ServerID(i), cluster.WorkerID(j), msgBytes) + ser
+				arrivals[i] = cfg.Faults.Arrival(t, cluster.ServerID(i), cluster.WorkerID(j),
+					clockS[i]+ser+
+						cost.Latency.Sample(cluster.ServerID(i), cluster.WorkerID(j), msgBytes)+ser)
 			}
 			idx, when := transport.QuorumArrival(arrivals, q)
 			if math.IsInf(when, 1) {
@@ -198,6 +206,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			honestGradList = append(honestGradList, grads[j])
 		}
 		adversaryBasis := tensor.Mean(honestGradList)
+		// Omniscient worker attacks observe every honest gradient of the step.
+		attack.ObserveAll(cfg.WorkerAttacks,
+			attack.NewStepView(t, honestGradList, cfg.FWorkers, len(cfg.WorkerAttacks)))
 
 		// ---- Phase 2: workers → servers, Multi-Krum, local update ----
 		for _, i := range honestServers {
@@ -215,8 +226,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					continue
 				}
 				payloads[j] = grads[j]
-				arrivals[j] = clockW[j] + ser +
-					cost.Latency.Sample(cluster.WorkerID(j), cluster.ServerID(i), msgBytes) + ser
+				arrivals[j] = cfg.Faults.Arrival(t, cluster.WorkerID(j), cluster.ServerID(i),
+					clockW[j]+ser+
+						cost.Latency.Sample(cluster.WorkerID(j), cluster.ServerID(i), msgBytes)+ser)
 			}
 			idx, when := transport.QuorumArrival(arrivals, qBar)
 			if math.IsInf(when, 1) {
@@ -251,6 +263,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				sentClock[i] = clockS[i]
 			}
 			medBasis := medianOrFirst(honestThetas())
+			// Refresh the omniscient server attacks' view with the updated
+			// honest parameter vectors before the contraction round.
+			attack.ObserveAll(cfg.ServerAttacks,
+				attack.NewStepView(t, honestThetas(), cfg.FServers, len(cfg.ServerAttacks)))
 			newTheta := make(map[int]tensor.Vector, len(honestServers))
 			for _, i := range honestServers {
 				arrivals := make([]float64, cfg.NumServers)
@@ -270,8 +286,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 						arrivals[k] = 0
 					default:
 						payloads[k] = sentTheta[k]
-						arrivals[k] = sentClock[k] + ser +
-							cost.Latency.Sample(cluster.ServerID(k), cluster.ServerID(i), msgBytes) + ser
+						arrivals[k] = cfg.Faults.Arrival(t, cluster.ServerID(k), cluster.ServerID(i),
+							sentClock[k]+ser+
+								cost.Latency.Sample(cluster.ServerID(k), cluster.ServerID(i), msgBytes)+ser)
 					}
 				}
 				idx, when := transport.QuorumArrival(arrivals, q)

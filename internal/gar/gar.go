@@ -109,6 +109,17 @@ func (Median) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
 	return out, nil
 }
 
+// lexLess orders equal-length vectors lexicographically (tie-breaker for
+// selection criteria that must not depend on input order).
+func lexLess(a, b tensor.Vector) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
 // medianInPlace computes the median of xs, permuting xs.
 func medianInPlace(xs []float64) float64 {
 	sort.Float64s(xs)
@@ -346,10 +357,24 @@ func (b Bulyan) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
 	for len(selected) < theta {
 		scores, err := KrumScores(pool, f)
 		if err != nil {
-			// Pool shrank below the Krum precondition: fall back to taking
-			// the remaining vectors directly (still ≥ 2f+1 of them).
-			selected = append(selected, pool...)
-			selected = selected[:theta]
+			// Pool shrank below the Krum precondition: finish the selection
+			// with the remaining vectors closest to the pool's coordinate-wise
+			// median (still ≥ 2f+1 candidates). Closeness-to-median is
+			// order-free — unlike "take the pool in its current order" — so
+			// the rule stays permutation-invariant; exact-distance ties break
+			// lexicographically, which makes duplicates interchangeable.
+			med, merr := (Median{}).Aggregate(pool)
+			if merr != nil {
+				return nil, merr
+			}
+			sort.SliceStable(pool, func(a, b int) bool {
+				da, db := tensor.SquaredDistance(pool[a], med), tensor.SquaredDistance(pool[b], med)
+				if da != db {
+					return da < db
+				}
+				return lexLess(pool[a], pool[b])
+			})
+			selected = append(selected, pool[:theta-len(selected)]...)
 			break
 		}
 		best := 0

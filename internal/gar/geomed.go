@@ -164,7 +164,10 @@ func (m MDA) SelectIndices(inputs []tensor.Vector) ([]int, error) {
 				}
 			}
 		}
-		if diam < best {
+		// The nil check guarantees a selection even when NaN coordinates
+		// make every diameter comparison false — Byzantine payloads must
+		// degrade the choice, not panic the rule on an empty subset.
+		if bestSubset == nil || diam < best {
 			best = diam
 			bestSubset = append(bestSubset[:0], subset...)
 		}

@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFaultDecisionsAreDeterministic(t *testing.T) {
+	cfg := FaultConfig{Seed: 7, Drop: 0.3, Duplicate: 0.3, Reorder: 0.3,
+		DelayRate: 0.5, DelaySpike: 0.01}
+	a := NewFaultInjector(cfg)
+	b := NewFaultInjector(cfg)
+	for step := 0; step < 50; step++ {
+		if got, want := a.Arrival(step, "ps0", "wrk1", 1.0), b.Arrival(step, "ps0", "wrk1", 1.0); got != want {
+			t.Fatalf("step %d: %v vs %v", step, got, want)
+		}
+		if a.decide(step, "ps0", "wrk1") != b.decide(step, "ps0", "wrk1") {
+			t.Fatalf("step %d: decisions differ", step)
+		}
+	}
+	// A different seed must actually change the schedule somewhere.
+	c := NewFaultInjector(FaultConfig{Seed: 8, Drop: 0.3, Duplicate: 0.3,
+		Reorder: 0.3, DelayRate: 0.5, DelaySpike: 0.01})
+	same := true
+	for step := 0; step < 50 && same; step++ {
+		same = a.decide(step, "ps0", "wrk1") == c.decide(step, "ps0", "wrk1")
+	}
+	if same {
+		t.Fatal("seed change did not alter the fault schedule")
+	}
+}
+
+func TestFaultArrivalDropAndSpike(t *testing.T) {
+	drop := NewFaultInjector(FaultConfig{Seed: 1, Drop: 1})
+	if got := drop.Arrival(0, "a", "b", 1.0); !math.IsInf(got, 1) {
+		t.Fatalf("certain drop should be +Inf, got %v", got)
+	}
+	spike := NewFaultInjector(FaultConfig{Seed: 1, DelayRate: 1, DelaySpike: 0.5})
+	got := spike.Arrival(0, "a", "b", 1.0)
+	if !(got > 1.0 && got <= 1.5) {
+		t.Fatalf("spiked arrival %v outside (1.0, 1.5]", got)
+	}
+	var nilInj *FaultInjector
+	if got := nilInj.Arrival(0, "a", "b", 1.0); got != 1.0 {
+		t.Fatalf("nil injector must be a no-op, got %v", got)
+	}
+}
+
+func TestFaultPartitionWindows(t *testing.T) {
+	inj := NewFaultInjector(FaultConfig{Seed: 3, PartitionEvery: 10, PartitionFor: 2})
+	// Find a cross-camp pair in the first window.
+	nodes := []string{"ps0", "ps1", "ps2", "wrk0", "wrk1", "wrk2"}
+	var from, to string
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b && inj.Partitioned(8, a, b) {
+				from, to = a, b
+			}
+		}
+	}
+	if from == "" {
+		t.Fatal("no cross-camp pair found during the partition window")
+	}
+	if !inj.Partitioned(9, from, to) {
+		t.Fatal("partition should span its whole window")
+	}
+	for step := 0; step < 8; step++ {
+		if inj.Partitioned(step, from, to) {
+			t.Fatalf("step %d is outside the partition window", step)
+		}
+	}
+	if !inj.Partitioned(8, to, from) {
+		t.Fatal("partition cuts must be symmetric")
+	}
+	if !math.IsInf(inj.Arrival(8, from, to, 1.0), 1) {
+		t.Fatal("partitioned arrival should be +Inf")
+	}
+}
+
+// faultNet builds a two-node in-process network with the sender wrapped.
+func faultNet(t *testing.T, cfg FaultConfig) (send Endpoint, recv Endpoint, cleanup func()) {
+	t.Helper()
+	net := NewChanNetwork(nil)
+	a, err := net.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFaultInjector(cfg).Wrap(a), b, func() { net.Close() }
+}
+
+func TestFaultWrapDropsEverything(t *testing.T) {
+	send, recv, cleanup := faultNet(t, FaultConfig{Seed: 2, Drop: 1})
+	defer cleanup()
+	for step := 0; step < 5; step++ {
+		if err := send.Send("b", Message{Kind: KindParams, Step: step, Vec: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m, ok := recv.Recv(20 * time.Millisecond); ok {
+		t.Fatalf("dropped message delivered: %+v", m)
+	}
+}
+
+func TestFaultWrapDuplicates(t *testing.T) {
+	send, recv, cleanup := faultNet(t, FaultConfig{Seed: 2, Duplicate: 1})
+	defer cleanup()
+	if err := send.Send("b", Message{Kind: KindParams, Step: 0, Vec: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := recv.Recv(time.Second); !ok {
+			t.Fatalf("copy %d missing", i)
+		}
+	}
+}
+
+func TestFaultWrapReordersBehindNextMessage(t *testing.T) {
+	send, recv, cleanup := faultNet(t, FaultConfig{Seed: 2, Reorder: 1})
+	defer cleanup()
+	if err := send.Send("b", Message{Kind: KindParams, Step: 0, Vec: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	// Step 0 is held; step 1 must arrive first, then the held step 0.
+	if err := send.Send("b", Message{Kind: KindParams, Step: 1, Vec: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	first, ok := recv.Recv(time.Second)
+	if !ok || first.Step != 1 {
+		t.Fatalf("first delivery = %+v, want step 1", first)
+	}
+	second, ok := recv.Recv(time.Second)
+	if !ok || second.Step != 0 {
+		t.Fatalf("second delivery = %+v, want held step 0", second)
+	}
+}
+
+func TestFaultWrapCloseFlushesHeld(t *testing.T) {
+	send, recv, cleanup := faultNet(t, FaultConfig{Seed: 2, Reorder: 1})
+	defer cleanup()
+	if err := send.Send("b", Message{Kind: KindParams, Step: 0, Vec: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := send.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := recv.Recv(time.Second); !ok || m.Step != 0 {
+		t.Fatalf("held message not flushed on close: %+v ok=%v", m, ok)
+	}
+}
+
+func TestFaultByNameProfiles(t *testing.T) {
+	for _, name := range FaultNames() {
+		cfg, err := FaultByName(name, nil, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "none" {
+			if cfg.Enabled() {
+				t.Fatal("none must disable injection")
+			}
+			if NewFaultInjector(cfg) != nil {
+				t.Fatal("disabled config must build a nil injector")
+			}
+		} else if !cfg.Enabled() {
+			t.Fatalf("%s: profile inactive", name)
+		}
+	}
+	cfg, err := FaultByName("drop", map[string]float64{"p": 0.25}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Drop != 0.25 || cfg.Seed != 5 {
+		t.Fatalf("override lost: %+v", cfg)
+	}
+	if _, err := FaultByName("nosuch", nil, 5); err == nil {
+		t.Fatal("unknown profile should be rejected")
+	}
+	if _, err := FaultByName("drop", map[string]float64{"q": 1}, 5); err == nil {
+		t.Fatal("unknown parameter should be rejected")
+	}
+}
