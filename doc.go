@@ -35,6 +35,14 @@
 // results — chunk boundaries are size-derived and reductions fold in a
 // fixed order, so every setting is bit-identical to serial.
 //
+// Live deployments speak a hand-rolled binary wire protocol: length-
+// prefixed frames with a fixed {kind, step, from-len, vec-len} header and
+// little-endian float64 payloads, encoded straight between []float64 and
+// reused buffers (zero allocations in steady state, ~5–12× the throughput
+// of the former gob framing — see the `throughput` experiment), over
+// per-connection hello-authenticated TCP so a Byzantine peer cannot forge
+// other senders into a quorum.
+//
 // The protocol implementation lives under internal/ (see DESIGN.md for the
 // system inventory), the runnable entry points under cmd/ and examples/,
 // and the benchmark harness regenerating every table and figure of the

@@ -2,7 +2,7 @@
 //
 // The same guanyu builder that drives the simulator and the in-process
 // live runtime here runs every node — 6 parameter servers and 6 workers —
-// over its own localhost TCP port with gob-encoded frames, exactly as
+// over its own localhost TCP port with binary-framed messages, exactly as
 // separate processes on a cluster would (the repository's equivalent of
 // the paper's gRPC deployment on Grid5000). One worker is Byzantine. For
 // the one-OS-process-per-node shape, see cmd/guanyu-node and

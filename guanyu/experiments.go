@@ -114,3 +114,13 @@ func SmokeMatrixSpec() MatrixSpec { return experiments.SmokeMatrixSpec() }
 func Matrix(s ExperimentScale, spec MatrixSpec) (*MatrixResult, error) {
 	return experiments.Matrix(s, spec)
 }
+
+// ThroughputRow is one (cluster shape, payload dimension) wire measurement.
+type ThroughputRow = experiments.ThroughputRow
+
+// Throughput measures the wire codecs (binary frames vs the retired gob
+// framing) on protocol-sized payloads and derives the serialization-bound
+// steps/sec ceiling for representative cluster shapes. Timing-based: the
+// absolute numbers are machine-dependent, the gob-vs-binary comparison is
+// the point.
+func Throughput(s ExperimentScale) ([]ThroughputRow, error) { return experiments.Throughput(s) }

@@ -227,7 +227,8 @@ func WithRuntime(r Runner) Option {
 }
 
 // WithTCPTransport makes the Live runtime exchange messages over real
-// loopback TCP sockets (gob-framed) instead of in-process channels.
+// loopback TCP sockets (binary-framed, hello-authenticated) instead of
+// in-process channels.
 func WithTCPTransport() Option {
 	return func(d *Deployment) error {
 		d.tcp = true

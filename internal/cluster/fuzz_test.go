@@ -39,5 +39,11 @@ func FuzzInboundValidator(f *testing.F) {
 			t.Fatalf("validator(%d) = %v for len=%d finite=%v",
 				dim, ok, len(vec), tensor.IsFinite(vec))
 		}
+		// A message with no sender identity must never occupy a quorum slot,
+		// whatever its payload looks like.
+		m.From = ""
+		if validator(dim)(m) {
+			t.Fatalf("validator(%d) accepted an anonymous message", dim)
+		}
 	})
 }

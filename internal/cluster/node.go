@@ -36,11 +36,15 @@ import (
 )
 
 // validator returns the inbound-message filter every honest node installs:
-// payloads must have the deployment's dimension and contain only finite
-// values. Anything else is treated as silence from that sender.
+// messages must carry a sender identity (the TCP transport pins it to the
+// connection's hello-authenticated peer; an empty From could otherwise
+// occupy a quorum slot as a phantom sender) and payloads must have the
+// deployment's dimension and contain only finite values. Anything else is
+// treated as silence from that sender. Frame-level sanity (bounded lengths,
+// well-formed floats) is the wire codec's job — see transport/codec.go.
 func validator(dim int) func(transport.Message) bool {
 	return func(m transport.Message) bool {
-		return len(m.Vec) == dim && tensor.IsFinite(m.Vec)
+		return m.From != "" && len(m.Vec) == dim && tensor.IsFinite(m.Vec)
 	}
 }
 

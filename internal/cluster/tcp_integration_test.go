@@ -14,8 +14,9 @@ import (
 
 // TestGuanYuOverTCP runs a complete Byzantine deployment over real TCP
 // sockets on localhost: 6 servers (1 silent-Byzantine) and 6 workers
-// (1 sign-flipping), verifying end-to-end that the node loops, the gob
-// transport and the quorum discipline compose into a converging system.
+// (1 sign-flipping), verifying end-to-end that the node loops, the binary
+// wire transport and the quorum discipline compose into a converging
+// system.
 func TestGuanYuOverTCP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spins up 12 TCP listeners")

@@ -127,10 +127,7 @@ func (e *chanEndpoint) Send(to string, m Message) error {
 	// a slow receiver may still be reading the previous broadcast. Messages
 	// must be immutable copies — exactly what a real network provides (the
 	// TCP transport copies by serialising, so it needs no extra clone).
-	if m.Vec != nil {
-		m.Vec = append([]float64(nil), m.Vec...)
-	}
-	return e.net.deliver(e.id, to, m)
+	return e.net.deliver(e.id, to, m.Clone())
 }
 
 func (e *chanEndpoint) Recv(timeout time.Duration) (Message, bool) {

@@ -228,7 +228,7 @@ func (e *faultEndpoint) Send(to string, m Message) error {
 		// contract is immutability from the Send boundary on, and the
 		// sender keeps mutating its parameter vector in place while the
 		// timer runs.
-		delayed := snapshotPayload(m)
+		delayed := m.Clone()
 		e.timers.Add(1)
 		time.AfterFunc(time.Duration(d.delay*float64(time.Second)), func() {
 			defer e.timers.Done()
@@ -241,7 +241,7 @@ func (e *faultEndpoint) Send(to string, m Message) error {
 		e.mu.Lock()
 		_, busy := e.held[to]
 		if !busy {
-			e.held[to] = snapshotPayload(m) // held past the Send boundary: snapshot
+			e.held[to] = m.Clone() // held past the Send boundary: snapshot
 			e.mu.Unlock()
 			return nil // delivered behind the sender's next message to `to`
 		}
@@ -285,15 +285,6 @@ func (e *faultEndpoint) Close() error {
 	}
 	e.timers.Wait()
 	return e.inner.Close()
-}
-
-// snapshotPayload clones a message's vector for deliveries deferred past
-// the Send boundary.
-func snapshotPayload(m Message) Message {
-	if m.Vec != nil {
-		m.Vec = append([]float64(nil), m.Vec...)
-	}
-	return m
 }
 
 // faultRNG is a splitmix64 stream — cheap, seedable from a hash, and

@@ -4,11 +4,14 @@
 //   - ChanNetwork, an in-process asynchronous network with unbounded
 //     mailboxes and optional injected delays (used by the live cluster
 //     runtime and the integration tests);
-//   - TCPNode, a real TCP transport with length-delimited gob frames (the
-//     repository's stand-in for the paper's gRPC/protobuf stack);
-//   - Collector, the "first q messages for step t, late ones discarded"
-//     quorum-gathering primitive at the heart of GuanYu's bulk-synchronous
-//     rounds over an asynchronous network;
+//   - TCPNode, a real TCP transport speaking the hand-rolled binary frame
+//     codec of codec.go — fixed {kind, step, from-len, vec-len} header plus
+//     little-endian float64 payload over hello-authenticated connections
+//     (the repository's stand-in for the paper's gRPC/protobuf stack, minus
+//     the reflection);
+//   - Collector, the "first q messages for step t, in arrival order, late
+//     ones discarded" quorum-gathering primitive at the heart of GuanYu's
+//     bulk-synchronous rounds over an asynchronous network;
 //   - LatencyModel, a seeded heavy-tailed latency sampler that drives both
 //     delay injection in the live runtime and the virtual clock of the
 //     deterministic experiment simulator.
@@ -31,6 +34,13 @@ const (
 	// servers (phase 3, the contraction round).
 	KindPeerParams
 )
+
+// Valid reports whether k is one of the protocol's message kinds. The wire
+// codec transports any kind byte (the format is bijective), but receivers
+// only buffer valid kinds: without the check, a Byzantine sender could
+// multiply its buffered footprint ~85× by spraying the same step across
+// every junk kind value.
+func (k Kind) Valid() bool { return k >= KindParams && k <= KindPeerParams }
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -59,4 +69,16 @@ type Message struct {
 	Step int `json:"step"`
 	// Vec is the payload (a parameter vector or a gradient).
 	Vec tensor.Vector `json:"vec"`
+}
+
+// Clone returns a copy of m whose payload aliases nothing — the snapshot
+// every transport must take when it holds a message past its Send boundary
+// (the sender keeps mutating its vector in place). The TCP transport gets
+// this for free by serialising; the in-process network and the fault
+// injector's deferred-delivery paths call Clone explicitly.
+func (m Message) Clone() Message {
+	if m.Vec != nil {
+		m.Vec = append(tensor.Vector(nil), m.Vec...)
+	}
+	return m
 }

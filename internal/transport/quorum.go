@@ -7,15 +7,16 @@ import (
 
 // Collector implements the quorum-gathering discipline of the protocol
 // (Figure 2 of the paper): for a given (kind, step), return the first q
-// messages received — at most one per sender — discarding messages from
-// past steps and buffering messages from future steps or other kinds.
+// messages received — at most one per sender, in true arrival order —
+// discarding messages from past steps and buffering messages from future
+// steps (up to a bounded horizon) or other kinds.
 //
 // Deduplication per sender is a safety requirement, not an optimisation: a
 // Byzantine node could otherwise fill an entire quorum with its own copies
 // and fully control the aggregation input.
 type Collector struct {
 	ep  Endpoint
-	buf map[collectorKey]map[string][]float64 // (kind, step) → sender → payload
+	buf map[collectorKey]*arrivalBuf // (kind, step) → messages in receipt order
 
 	// Validator, when non-nil, vets every inbound message before it can
 	// count toward any quorum. Messages failing validation are dropped —
@@ -23,61 +24,90 @@ type Collector struct {
 	// (wrong dimension, NaN/Inf coordinates) so they behave like silence
 	// rather than poisoning downstream arithmetic.
 	Validator func(Message) bool
+
+	// Horizon bounds how many steps ahead of the one being collected a
+	// message may be and still get buffered (0 means DefaultHorizon).
+	// Honest nodes run bulk-synchronously, so they are never more than a
+	// step or two ahead; without the bound, a Byzantine sender spraying
+	// steps t+1..t+10⁹ would grow the buffer without limit.
+	Horizon int
+
+	droppedFuture int // messages discarded beyond the horizon
 }
+
+// DefaultHorizon is the future-step buffering bound when Horizon is unset —
+// orders of magnitude beyond the honest lead (≤ ~2 steps) and still a hard
+// memory cap against step-spraying senders.
+const DefaultHorizon = 64
 
 type collectorKey struct {
 	kind Kind
 	step int
 }
 
+// arrivalBuf holds one (kind, step)'s quorum candidates exactly as they
+// arrived: msgs is receipt-ordered with at most one entry per sender, seen
+// is the dedup set behind it.
+type arrivalBuf struct {
+	msgs []Message
+	seen map[string]struct{}
+}
+
 // NewCollector wraps an endpoint.
 func NewCollector(ep Endpoint) *Collector {
-	return &Collector{ep: ep, buf: make(map[collectorKey]map[string][]float64)}
+	return &Collector{ep: ep, buf: make(map[collectorKey]*arrivalBuf)}
+}
+
+func (c *Collector) horizon() int {
+	if c.Horizon > 0 {
+		return c.Horizon
+	}
+	return DefaultHorizon
 }
 
 // Collect blocks until q distinct-sender messages of the given kind and step
 // have been received (counting buffered ones), or the timeout elapses. It
-// returns the payload of each contributing sender. Messages for other
-// (kind, step) pairs observed while waiting are buffered if current-or-
-// future, dropped if stale.
+// returns the first q such messages in the order they arrived — "aggregate
+// the first q received" from the paper, literally: which vectors enter the
+// aggregation, and in what order, is decided by receipt time alone, never
+// by map iteration or sender name. Messages for other (kind, step) pairs
+// observed while waiting are buffered if current-or-near-future, dropped if
+// stale or beyond the horizon.
 //
 // timeout < 0 blocks indefinitely — the faithful asynchronous-model setting,
 // where liveness comes from the quorum bound q ≤ n−f rather than from
 // timing. Tests use finite timeouts to convert protocol bugs into failures
 // rather than hangs.
 func (c *Collector) Collect(kind Kind, step, q int, timeout time.Duration) ([]Message, error) {
+	if q <= 0 {
+		return nil, nil // an empty quorum is satisfied by silence
+	}
 	key := collectorKey{kind: kind, step: step}
 	var deadline time.Time
 	if timeout >= 0 {
 		deadline = time.Now().Add(timeout)
 	}
-	for len(c.buf[key]) < q {
+	for c.Buffered(kind, step) < q {
 		wait := time.Duration(-1)
 		if timeout >= 0 {
 			wait = time.Until(deadline)
 			if wait <= 0 {
 				return nil, fmt.Errorf("transport: quorum timeout: have %d/%d %s messages for step %d",
-					len(c.buf[key]), q, kind, step)
+					c.Buffered(kind, step), q, kind, step)
 			}
 		}
 		m, ok := c.ep.Recv(wait)
 		if !ok {
 			if timeout >= 0 && time.Now().After(deadline) {
 				return nil, fmt.Errorf("transport: quorum timeout: have %d/%d %s messages for step %d",
-					len(c.buf[key]), q, kind, step)
+					c.Buffered(kind, step), q, kind, step)
 			}
 			return nil, fmt.Errorf("transport: endpoint closed while collecting %s step %d", kind, step)
 		}
 		c.store(m, step)
 	}
-	senders := c.buf[key]
-	out := make([]Message, 0, q)
-	for from, vec := range senders {
-		out = append(out, Message{From: from, Kind: kind, Step: step, Vec: vec})
-		if len(out) == q {
-			break
-		}
-	}
+	out := make([]Message, q)
+	copy(out, c.buf[key].msgs[:q])
 	// The round is decided; drop the remainder for this key (late messages
 	// for an already-completed quorum are discarded per the protocol).
 	delete(c.buf, key)
@@ -95,28 +125,45 @@ func (c *Collector) Advance(step int) {
 	}
 }
 
-// store buffers m unless it is stale relative to the step being collected.
+// store buffers m unless it is stale relative to the step being collected
+// or beyond the future-step horizon.
 func (c *Collector) store(m Message, currentStep int) {
+	if !m.Kind.Valid() {
+		return // junk kind: never collected, so never buffer it
+	}
 	if m.Step < currentStep {
 		return // late message from a completed round: discard
+	}
+	if m.Step > currentStep+c.horizon() {
+		c.droppedFuture++ // step-spraying sender: bound the buffer, count the drop
+		return
 	}
 	if c.Validator != nil && !c.Validator(m) {
 		return // malformed payload: treat the sender as silent this round
 	}
 	key := collectorKey{kind: m.Kind, step: m.Step}
-	senders, ok := c.buf[key]
+	b, ok := c.buf[key]
 	if !ok {
-		senders = make(map[string][]float64)
-		c.buf[key] = senders
+		b = &arrivalBuf{seen: make(map[string]struct{})}
+		c.buf[key] = b
 	}
-	if _, dup := senders[m.From]; dup {
+	if _, dup := b.seen[m.From]; dup {
 		return // only the first message per sender counts toward the quorum
 	}
-	senders[m.From] = m.Vec
+	b.seen[m.From] = struct{}{}
+	b.msgs = append(b.msgs, m)
 }
 
 // Buffered returns how many distinct senders are buffered for (kind, step).
 // Exposed for tests and monitoring.
 func (c *Collector) Buffered(kind Kind, step int) int {
-	return len(c.buf[collectorKey{kind: kind, step: step}])
+	b := c.buf[collectorKey{kind: kind, step: step}]
+	if b == nil {
+		return 0
+	}
+	return len(b.msgs)
 }
+
+// DroppedFuture returns how many messages were discarded for claiming a
+// step beyond the buffering horizon. Exposed for tests and monitoring.
+func (c *Collector) DroppedFuture() int { return c.droppedFuture }

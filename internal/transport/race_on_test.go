@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports whether the race detector instruments this build —
+// its shadow-memory bookkeeping defeats the append-in-place optimisations
+// the steady-state allocation assertions rely on.
+const raceEnabled = true

@@ -1,18 +1,27 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // TCPNode is a network endpoint backed by real TCP sockets. Messages are
-// gob-encoded frames on long-lived connections — the repository's equivalent
-// of the paper's gRPC/protobuf channels. Each node listens on its own
-// address and lazily dials peers on first send.
+// length-prefixed binary frames (see codec.go) on long-lived connections —
+// the repository's equivalent of the paper's gRPC/protobuf channels, minus
+// the reflection: encode and decode move raw little-endian float64 bits
+// between []float64 and per-connection reusable buffers, so the wire path
+// is allocation-free in steady state on the send side and allocates only
+// the payload vector the receiver keeps on the read side.
+//
+// Every outbound connection opens with a hello frame naming the dialer;
+// the accepting node pins all traffic on that connection to the hello
+// identity and drops frames whose From field disagrees (see codec.go for
+// why this matters to the quorum safety argument).
 //
 // TCPNode satisfies Endpoint, so the live cluster runtime runs unmodified on
 // top of either the in-process network or real sockets.
@@ -26,6 +35,8 @@ type TCPNode struct {
 	accepted map[net.Conn]struct{}
 	box      *Mailbox
 
+	forged uint64 // frames dropped for From ≠ hello identity
+
 	closed    chan struct{}
 	closeOnce sync.Once
 	readers   sync.WaitGroup
@@ -33,10 +44,12 @@ type TCPNode struct {
 
 var _ Endpoint = (*TCPNode)(nil)
 
+// tcpConn is one outbound connection: the socket plus a reusable encode
+// buffer, so steady-state sends write one frame with zero allocations.
 type tcpConn struct {
-	mu  sync.Mutex // serialises encoder writes
+	mu  sync.Mutex // serialises frame writes
 	c   net.Conn
-	enc *gob.Encoder
+	buf []byte // reused frame staging; owned by the connection
 }
 
 // ListenTCP starts a node listening on addr. peers maps every other node's
@@ -82,8 +95,15 @@ func (n *TCPNode) AddPeer(id, addr string) error {
 // ID implements Endpoint.
 func (n *TCPNode) ID() string { return n.id }
 
-// Send implements Endpoint: it gob-encodes m on a cached connection to the
-// peer, dialing on first use.
+// ForgedDropped returns how many inbound frames were dropped because their
+// From field disagreed with the connection's hello identity. Exposed for
+// tests and monitoring.
+func (n *TCPNode) ForgedDropped() uint64 { return atomic.LoadUint64(&n.forged) }
+
+// Send implements Endpoint: it frames m into the connection's reusable
+// buffer and writes it, dialing (and helloing) on first use. m is only read
+// during the call — serialisation is the snapshot, so the caller may keep
+// mutating m.Vec afterwards.
 func (n *TCPNode) Send(to string, m Message) error {
 	m.From = n.id
 	conn, err := n.conn(to)
@@ -92,7 +112,12 @@ func (n *TCPNode) Send(to string, m Message) error {
 	}
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
-	if err := conn.enc.Encode(&m); err != nil {
+	buf, err := AppendMessage(conn.buf[:0], &m)
+	conn.buf = buf[:0] // keep grown capacity for the next frame
+	if err != nil {
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	if _, err := conn.c.Write(buf); err != nil {
 		// Drop the broken connection so the next Send redials.
 		n.dropConn(to, conn)
 		return fmt.Errorf("transport: send to %s: %w", to, err)
@@ -123,8 +148,8 @@ func (n *TCPNode) close() error {
 	}
 	n.conns = make(map[string]*tcpConn)
 	// Accepted (inbound) connections must be closed too: their readLoops
-	// block in gob Decode and would otherwise keep readers.Wait below —
-	// and hence two nodes closing in sequence — deadlocked.
+	// block reading the next frame and would otherwise keep readers.Wait
+	// below — and hence two nodes closing in sequence — deadlocked.
 	for c := range n.accepted {
 		_ = c.Close()
 	}
@@ -176,6 +201,17 @@ func (n *TCPNode) conn(to string) (*tcpConn, error) {
 		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
 	}
 
+	// Authenticate the connection before it carries any message: the hello
+	// frame binds everything that follows to this node's identity.
+	hello, err := appendHello(nil, n.id)
+	if err == nil {
+		_, err = raw.Write(hello)
+	}
+	if err != nil {
+		_ = raw.Close()
+		return nil, fmt.Errorf("transport: hello %s (%s): %w", to, addr, err)
+	}
+
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if c, ok := n.conns[to]; ok {
@@ -183,7 +219,7 @@ func (n *TCPNode) conn(to string) (*tcpConn, error) {
 		_ = raw.Close()
 		return c, nil
 	}
-	c := &tcpConn{c: raw, enc: gob.NewEncoder(raw)}
+	c := &tcpConn{c: raw}
 	n.conns[to] = c
 	return c, nil
 }
@@ -220,16 +256,30 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		n.mu.Unlock()
 		_ = conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, 1<<16)
+	// The connection speaks only after identifying itself; a stream that
+	// cannot produce a well-formed hello is not a peer.
+	peer, err := readHello(br)
+	if err != nil {
+		return
+	}
+	var scratch []byte
 	for {
 		var m Message
-		if err := dec.Decode(&m); err != nil {
+		if err := ReadMessage(br, &scratch, &m); err != nil {
 			return // peer closed or corrupt stream
 		}
 		select {
 		case <-n.closed:
 			return
 		default:
+		}
+		if m.From != peer {
+			// Forged sender: the frame claims an identity other than the
+			// one this connection authenticated as. Dropping it is what
+			// keeps per-sender quorum dedup meaningful.
+			atomic.AddUint64(&n.forged, 1)
+			continue
 		}
 		n.box.Put(m)
 	}

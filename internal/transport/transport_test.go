@@ -202,6 +202,135 @@ func TestCollectorQuorum(t *testing.T) {
 	}
 }
 
+// Regression for the map-iteration quorum bug: with q+3 senders buffered,
+// Collect must return exactly the FIRST q in receipt order — the paper's
+// "aggregate the first q received", literally. The old implementation
+// ranged over a Go map, so both the selected set and its order varied
+// between runs.
+func TestCollectorArrivalOrder(t *testing.T) {
+	const senders, q = 7, 4 // q+3 senders buffered before Collect
+	net := NewChanNetwork(nil)
+	defer net.Close()
+	recv, _ := net.Register("srv")
+	eps := make([]Endpoint, senders)
+	for s := range eps {
+		eps[s], _ = net.Register(fmt.Sprintf("w%d", s))
+	}
+	// Interleave with a dash of noise: duplicates and another kind must not
+	// displace anyone from the arrival order.
+	order := []int{3, 0, 5, 1, 3, 6, 2, 4} // sender 3 repeats: dup ignored
+	for _, s := range order {
+		if err := eps[s].Send("srv", Message{Kind: KindGradient, Step: 2, Vec: tensor.Vector{float64(s)}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := eps[s].Send("srv", Message{Kind: KindPeerParams, Step: 2, Vec: tensor.Vector{-1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCollector(recv)
+	c.Advance(2)
+	msgs, err := c.Collect(KindGradient, 2, q, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"w3", "w0", "w5", "w1"} // first q distinct senders, receipt order
+	if len(msgs) != q {
+		t.Fatalf("collected %d, want %d", len(msgs), q)
+	}
+	for i, m := range msgs {
+		if m.From != want[i] {
+			t.Fatalf("position %d: got %s, want %s (full order: %v)", i, m.From, want[i], msgs)
+		}
+		if m.Vec[0] != float64(want[i][1]-'0') {
+			t.Fatalf("position %d: payload %v does not match sender %s", i, m.Vec, m.From)
+		}
+	}
+}
+
+// Regression for unbounded future-step buffering: a sender spraying steps
+// t+1..t+N must cost at most Horizon steps of buffer, with the remainder
+// dropped and counted.
+func TestCollectorFutureHorizonBounded(t *testing.T) {
+	net := NewChanNetwork(nil)
+	defer net.Close()
+	recv, _ := net.Register("srv")
+	byz, _ := net.Register("byz")
+	honest, _ := net.Register("honest")
+
+	c := NewCollector(recv)
+	c.Horizon = 16
+	const spray = 200
+	for s := 1; s <= spray; s++ {
+		if err := byz.Send("srv", Message{Kind: KindGradient, Step: s, Vec: tensor.Vector{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := honest.Send("srv", Message{Kind: KindGradient, Step: 0, Vec: tensor.Vector{0}}); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := c.Collect(KindGradient, 0, 1, time.Second)
+	if err != nil || msgs[0].From != "honest" {
+		t.Fatalf("collect: %v %+v", err, msgs)
+	}
+	if got := c.DroppedFuture(); got != spray-c.Horizon {
+		t.Fatalf("DroppedFuture = %d, want %d", got, spray-c.Horizon)
+	}
+	for s := 1; s <= c.Horizon; s++ {
+		if c.Buffered(KindGradient, s) != 1 {
+			t.Fatalf("step %d within horizon not buffered", s)
+		}
+	}
+	for s := c.Horizon + 1; s <= spray; s++ {
+		if c.Buffered(KindGradient, s) != 0 {
+			t.Fatalf("step %d beyond horizon buffered", s)
+		}
+	}
+}
+
+// Junk message kinds must never be buffered: they are never collected, so
+// buffering them would hand a Byzantine sender a ~85× multiplier on the
+// horizon memory bound (one buffer per kind byte per step).
+func TestCollectorDropsInvalidKinds(t *testing.T) {
+	net := NewChanNetwork(nil)
+	defer net.Close()
+	recv, _ := net.Register("srv")
+	byz, _ := net.Register("byz")
+	honest, _ := net.Register("honest")
+	for _, k := range []Kind{0, 4, 77, 255} {
+		if err := byz.Send("srv", Message{Kind: k, Step: 0, Vec: tensor.Vector{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := honest.Send("srv", Message{Kind: KindGradient, Step: 0, Vec: tensor.Vector{0}}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector(recv)
+	if msgs, err := c.Collect(KindGradient, 0, 1, time.Second); err != nil || msgs[0].From != "honest" {
+		t.Fatalf("collect: %v %+v", err, msgs)
+	}
+	for _, k := range []Kind{0, 4, 77, 255} {
+		if c.Buffered(k, 0) != 0 {
+			t.Fatalf("invalid kind %d buffered", k)
+		}
+	}
+}
+
+// An empty quorum is satisfied by silence — Collect(q ≤ 0) must return
+// immediately without touching the buffer (regression: the arrival-order
+// rebuild briefly made this a nil-map dereference).
+func TestCollectorZeroQuorum(t *testing.T) {
+	net := NewChanNetwork(nil)
+	defer net.Close()
+	recv, _ := net.Register("srv")
+	c := NewCollector(recv)
+	for _, q := range []int{0, -1} {
+		msgs, err := c.Collect(KindPeerParams, 3, q, time.Second)
+		if err != nil || len(msgs) != 0 {
+			t.Fatalf("Collect(q=%d) = %v, %v", q, msgs, err)
+		}
+	}
+}
+
 func TestCollectorDedupesSenders(t *testing.T) {
 	// A Byzantine sender flooding copies must not fill the quorum alone.
 	net := NewChanNetwork(nil)
