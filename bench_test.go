@@ -433,6 +433,135 @@ func BenchmarkWireDecodeGob1756426(b *testing.B) {
 	}
 }
 
+// wireBenchShardSize is the chunk width of the sharded wire benchmarks —
+// the memory experiment's full-scale default (64 Ki coordinates, 512 KiB
+// frames; 27 shards at the paper dimension).
+const wireBenchShardSize = 1 << 16
+
+// BenchmarkWireEncodeSharded1756426 encodes one paper-scale vector as its
+// full chunk-frame stream (reused buffer, steady state) — the sharded
+// counterpart of BenchmarkWireEncodeBinary1756426, so the per-frame
+// header overhead of chunking is measured, not guessed.
+func BenchmarkWireEncodeSharded1756426(b *testing.B) {
+	m := wireBenchMessage()
+	shards := transport.SplitMessage(m, wireBenchShardSize)
+	var buf []byte
+	total := 0
+	for i := range shards {
+		total += transport.EncodedSize(&shards[i])
+	}
+	b.SetBytes(int64(total))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		for s := range shards {
+			var err error
+			if buf, err = transport.AppendMessage(buf, &shards[s]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkWireDecodeSharded1756426 decodes the full chunk-frame stream
+// back into per-shard messages (reused decode target per the ownership
+// contract).
+func BenchmarkWireDecodeSharded1756426(b *testing.B) {
+	m := wireBenchMessage()
+	var frames []byte
+	for _, sm := range transport.SplitMessage(m, wireBenchShardSize) {
+		var err error
+		if frames, err = transport.AppendMessage(frames, &sm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(frames)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var out transport.Message
+	for i := 0; i < b.N; i++ {
+		off := 0
+		for off < len(frames) {
+			n, err := transport.DecodeMessage(frames[off:], &out)
+			if err != nil {
+				b.Fatal(err)
+			}
+			off += n
+		}
+	}
+}
+
+// wireQuorumFeed builds the shared feed of the quorum benchmarks: n
+// paper-scale vectors.
+func wireQuorumFeed(n int) []tensor.Vector {
+	rng := tensor.NewRNG(12)
+	vecs := make([]tensor.Vector, n)
+	for i := range vecs {
+		vecs[i] = rng.NormVec(make(tensor.Vector, 1756426), 0, 1)
+	}
+	return vecs
+}
+
+// BenchmarkWireQuorumWhole1756426 replays an 8-sender, q=5 round through
+// the whole-vector Collector; the peak-bytes metric is the O(q·d) buffer
+// the sharded path exists to avoid.
+func BenchmarkWireQuorumWhole1756426(b *testing.B) {
+	vecs := wireQuorumFeed(8)
+	peak := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := transport.NewChanNetwork(nil)
+		recv, _ := net.Register("recv")
+		for j := range vecs {
+			ep, _ := net.Register(string(rune('a' + j)))
+			_ = ep.Send("recv", transport.Message{Kind: transport.KindParams, Step: 0, Vec: vecs[j]})
+		}
+		col := transport.NewCollector(recv)
+		if _, err := col.Collect(transport.KindParams, 0, 5, -1); err != nil {
+			b.Fatal(err)
+		}
+		peak = col.PeakBytes()
+		net.Close()
+	}
+	b.ReportMetric(float64(peak), "peak-bytes")
+}
+
+// BenchmarkWireQuorumSharded1756426 replays the identical round as
+// round-robin chunk frames through the ShardCollector.
+func BenchmarkWireQuorumSharded1756426(b *testing.B) {
+	vecs := wireQuorumFeed(8)
+	frames := make([][]transport.Message, len(vecs))
+	for i := range vecs {
+		frames[i] = transport.SplitMessage(transport.Message{
+			Kind: transport.KindParams, Step: 0, Vec: vecs[i],
+		}, wireBenchShardSize)
+	}
+	peak := 0
+	fold := func(int, int, []string, []tensor.Vector) error { return nil }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := transport.NewChanNetwork(nil)
+		recv, _ := net.Register("recv")
+		eps := make([]transport.Endpoint, len(vecs))
+		for j := range vecs {
+			eps[j], _ = net.Register(string(rune('a' + j)))
+		}
+		for s := 0; s < len(frames[0]); s++ {
+			for j := range eps {
+				_ = eps[j].Send("recv", frames[j][s])
+			}
+		}
+		scol := transport.NewShardCollector(recv, transport.NewShardLayout(1756426, wireBenchShardSize))
+		if _, err := scol.Collect(transport.KindParams, 0, 5, nil, "", false, fold, -1); err != nil {
+			b.Fatal(err)
+		}
+		peak = scol.PeakBytes()
+		net.Close()
+	}
+	b.ReportMetric(float64(peak), "peak-bytes")
+}
+
 // BenchmarkAttackCorrupt measures the per-message cost of the heaviest
 // attack (fresh Gaussian vector per receiver).
 func BenchmarkAttackCorrupt(b *testing.B) {

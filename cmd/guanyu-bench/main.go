@@ -45,6 +45,7 @@ func run(args []string, out io.Writer) error {
 		rules    = fs.String("rules", "", "scenario matrix only: comma-separated gradient GAR names")
 		faults   = fs.String("faults", "", "scenario matrix only: comma-separated fault profile specs")
 		parallel = fs.Int("parallel", 0, "worker count for kernels and concurrent curves (0 = all CPUs, 1 = serial; results are identical at any setting)")
+		shard    = fs.Int("shard", 0, "memory experiment only: shard size in coordinates (0 = per-dimension default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +70,14 @@ func run(args []string, out io.Writer) error {
 	// runOne routes "matrix" through it so they apply under -exp all too.
 	customMatrix := *smoke || *attacks != "" || *rules != "" || *faults != ""
 	runOne := func(id string) error {
+		if id == "memory" && *shard > 0 {
+			rows, err := guanyu.Memory(scale, *shard)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, guanyu.FormatMemory(rows))
+			return nil
+		}
 		if id == "matrix" && customMatrix {
 			spec := guanyu.DefaultMatrixSpec()
 			if *smoke {

@@ -54,6 +54,7 @@ type nodeConfig struct {
 	faultSpec string
 	ckptPath  string
 	timeout   time.Duration
+	shardSize int
 }
 
 func parseFlags(args []string) (*nodeConfig, error) {
@@ -76,6 +77,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		ckpt     = fs.String("checkpoint", "", "server only: write the final model here")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "per-quorum timeout")
 		parallel = fs.Int("parallel", 0, "kernel worker count for this node (0 = all CPUs, 1 = serial; results are identical at any setting)")
+		shard    = fs.Int("shard", 0, "stream vectors as chunk frames of this many coordinates (0 = whole-vector framing; arm every node identically)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -99,6 +101,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		fServers: *fServers, fWorkers: *fWorkers,
 		steps: *steps, batch: *batch, seed: *seed, examples: *examples,
 		byzMode: *byzMode, faultSpec: *faultSpec, ckptPath: *ckpt, timeout: *timeout,
+		shardSize: *shard,
 	}, nil
 }
 
@@ -168,19 +171,20 @@ func run(args []string, out io.Writer) error {
 	}
 
 	res, err := guanyu.RunNode(context.Background(), guanyu.NodeConfig{
-		Role:     cfg.role,
-		ID:       cfg.id,
-		Listen:   cfg.listen,
-		Peers:    cfg.peers,
-		FServers: cfg.fServers,
-		FWorkers: cfg.fWorkers,
-		Steps:    cfg.steps,
-		Batch:    cfg.batch,
-		Examples: cfg.examples,
-		Seed:     cfg.seed,
-		Attack:   att,
-		Faults:   faults,
-		Timeout:  cfg.timeout,
+		Role:      cfg.role,
+		ID:        cfg.id,
+		Listen:    cfg.listen,
+		Peers:     cfg.peers,
+		FServers:  cfg.fServers,
+		FWorkers:  cfg.fWorkers,
+		Steps:     cfg.steps,
+		Batch:     cfg.batch,
+		Examples:  cfg.examples,
+		Seed:      cfg.seed,
+		Attack:    att,
+		Faults:    faults,
+		Timeout:   cfg.timeout,
+		ShardSize: cfg.shardSize,
 		OnListen: func(addr string) {
 			fmt.Fprintf(out, "%s listening on %s (%d servers, %d workers)\n",
 				cfg.id, addr, len(servers), len(workers))

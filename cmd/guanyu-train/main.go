@@ -48,6 +48,7 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "run seed")
 		evalEvery = fs.Int("eval-every", 10, "accuracy sampling period")
 		parallel  = fs.Int("parallel", 0, "kernel worker count (0 = all CPUs, 1 = serial; results are identical at any setting)")
+		shard     = fs.Int("shard", 0, "live runtime only: stream vectors as chunk frames of this many coordinates (0 = whole-vector framing; results are identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +85,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *rule != "" {
 		opts = append(opts, guanyu.WithRule(*rule))
+	}
+	if *shard > 0 {
+		opts = append(opts, guanyu.WithShardSize(*shard))
 	}
 
 	mk, err := guanyu.AttackByName(*attackName, *seed)

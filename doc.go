@@ -41,7 +41,16 @@
 // reused buffers (zero allocations in steady state, ~5–12× the throughput
 // of the former gob framing — see the `throughput` experiment), over
 // per-connection hello-authenticated TCP so a Byzantine peer cannot forge
-// other senders into a quorum.
+// other senders into a quorum. WIRE.md is the byte-level specification.
+//
+// With guanyu.WithShardSize (the -shard flag on the commands), vectors
+// stream as fixed coordinate shards — chunk frames on the wire — and every
+// quorum aggregates incrementally as each shard's first-q set completes:
+// peak receive buffering drops from O(n·d) to O(q·shard) for the
+// coordinate-wise rules (Multi-Krum's streamer retains its q inputs until
+// the post-selection mean, an O(q·d) floor) and aggregation overlaps the
+// network receive (see the `memory` experiment), with results bit-identical
+// to whole-vector framing at any shard size.
 //
 // The protocol implementation lives under internal/ (see DESIGN.md for the
 // system inventory), the runnable entry points under cmd/ and examples/,

@@ -124,3 +124,18 @@ type ThroughputRow = experiments.ThroughputRow
 // absolute numbers are machine-dependent, the gob-vs-binary comparison is
 // the point.
 func Throughput(s ExperimentScale) ([]ThroughputRow, error) { return experiments.Throughput(s) }
+
+// MemoryRow is one dimension's whole-vs-sharded collector measurement.
+type MemoryRow = experiments.MemoryRow
+
+// Memory replays one deterministic arrival schedule through the
+// whole-vector Collector and the chunk-streaming ShardCollector and
+// reports peak buffered bytes, the receive→aggregate overlap, and a
+// bit-identity check of the two aggregates. shardSize overrides the
+// per-dimension default when positive (the -shard flag on guanyu-bench).
+func Memory(s ExperimentScale, shardSize int) ([]MemoryRow, error) {
+	return experiments.Memory(s, shardSize)
+}
+
+// FormatMemory renders the peak-memory comparison table.
+func FormatMemory(rows []MemoryRow) string { return experiments.FormatMemory(rows) }

@@ -80,6 +80,7 @@ type Deployment struct {
 	faults    *transport.FaultInjector
 	suspicion *Suspicion
 	tcp       bool
+	shardSize int
 
 	parallelism    int
 	parallelismSet bool
@@ -192,6 +193,9 @@ func (d *Deployment) normalize() error {
 	}
 	if d.tcp && d.runtime != Live {
 		return fmt.Errorf("WithTCPTransport applies to the Live runtime only")
+	}
+	if d.shardSize > 0 && d.runtime != Live {
+		return fmt.Errorf("WithShardSize applies to the Live runtime only (the simulator models the wire in its cost model)")
 	}
 	return nil
 }

@@ -52,8 +52,16 @@ type NodeConfig struct {
 	Attack Attack
 	// Faults injects seeded network faults into THIS node's send path
 	// (zero value: none). Arm all nodes with the same profile and seed for
-	// a cluster-wide schedule.
+	// a cluster-wide schedule. With a ShardSize set, faults hit each chunk
+	// frame independently.
 	Faults FaultProfile
+	// ShardSize, when positive, streams this node's outbound vectors as
+	// chunk frames of that many coordinates and aggregates inbound shards
+	// incrementally (bit-identical to whole-vector framing; see
+	// WithShardSize). Nodes with and without sharding interoperate, so a
+	// deployment may mix — but arm every node identically to get the
+	// memory and pipelining benefit cluster-wide.
+	ShardSize int
 	// Timeout bounds each quorum wait (default 5 minutes).
 	Timeout time.Duration
 	// LR overrides the learning-rate schedule (servers only; default
@@ -197,6 +205,7 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			LR:              lr,
 			Timeout:         timeout,
 			Attack:          cfg.Attack,
+			ShardSize:       cfg.ShardSize,
 		})
 		if err != nil {
 			return nil, wrapCancelled(ctx, err)
@@ -221,6 +230,7 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			Steps:        cfg.Steps,
 			Timeout:      timeout,
 			Attack:       cfg.Attack,
+			ShardSize:    cfg.ShardSize,
 		})
 		if err != nil {
 			return nil, wrapCancelled(ctx, err)

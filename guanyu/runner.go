@@ -124,6 +124,7 @@ func (liveRunner) Run(ctx context.Context, d *Deployment) (*Result, error) {
 			Timeout:       d.timeout,
 			Seed:          d.seed,
 			Suspicion:     d.suspicion,
+			ShardSize:     d.shardSize,
 		}
 		var res *cluster.LiveResult
 		res, err = cluster.RunLiveContext(ctx, cfg)
@@ -250,6 +251,7 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 			Attack:          d.serverAttacks[i],
 			Momentum:        d.momentum,
 			View:            serverView,
+			ShardSize:       d.shardSize,
 		}
 		if scfg.Attack == nil {
 			scfg.Suspicion = d.suspicion
@@ -293,6 +295,7 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 			Timeout:      timeout,
 			Attack:       d.workerAttacks[j],
 			View:         workerView,
+			ShardSize:    d.shardSize,
 		}
 		var wep transport.Endpoint = nodes[wcfg.ID]
 		if wcfg.Attack == nil {

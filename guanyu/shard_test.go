@@ -1,0 +1,55 @@
+package guanyu_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/guanyu"
+)
+
+// TestWithShardSizeValidation: sharding is a wire concern, so a positive
+// size is Live-only, while n ≤ 0 means "whole-vector framing" and is
+// accepted anywhere (per the option's documented contract).
+func TestWithShardSizeValidation(t *testing.T) {
+	if _, err := guanyu.New(quickOpts(guanyu.WithShardSize(64))...); err == nil ||
+		!strings.Contains(err.Error(), "Live") {
+		t.Fatalf("WithShardSize under the Sim default: %v, want a Live-only error", err)
+	}
+	if _, err := guanyu.New(quickOpts(guanyu.WithShardSize(-1))...); err != nil {
+		t.Fatalf("WithShardSize(-1) must degrade to whole-vector framing, got %v", err)
+	}
+	if _, err := guanyu.New(quickOpts(guanyu.WithShardSize(0),
+		guanyu.WithRuntime(guanyu.Live))...); err != nil {
+		t.Fatalf("WithShardSize(0) under Live: %v", err)
+	}
+}
+
+// TestLiveShardedThroughBuilder runs the same quick deployment with the
+// wire sharded at a prime width that does not divide the model dimension:
+// the façade plumbs the option through the in-process Live runtime and
+// the run converges exactly like the whole-vector one.
+func TestLiveShardedThroughBuilder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full live deployment")
+	}
+	d, err := guanyu.New(quickOpts(
+		guanyu.WithRuntime(guanyu.Live),
+		guanyu.WithShardSize(13),
+		guanyu.WithTimeout(2*time.Minute),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Final) == 0 || !guanyu.IsFinite(res.Final) {
+		t.Fatalf("bad final vector (len %d)", len(res.Final))
+	}
+	if res.FinalAccuracy < 0.5 {
+		t.Fatalf("final accuracy %.3f, want ≥ 0.5 despite 1 Byzantine worker", res.FinalAccuracy)
+	}
+}

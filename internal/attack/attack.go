@@ -1,14 +1,3 @@
-// Package attack implements the Byzantine behaviours evaluated in the paper
-// (Section 5.1/5.4): corrupted gradients, corrupted parameter vectors,
-// different replies to different participants (two-faced / equivocation),
-// and not responding at all. Attacks apply to both roles — a Byzantine
-// worker corrupts the gradient it sends to servers; a Byzantine parameter
-// server corrupts the model it sends to workers and to its peers.
-//
-// The adversary in the model is omniscient (it may read every honest value)
-// but not omnipotent (it can only speak through the nodes it controls);
-// accordingly, every Attack receives the honest vector the node would have
-// sent and returns an arbitrary replacement.
 package attack
 
 import (

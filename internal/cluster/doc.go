@@ -1,0 +1,48 @@
+// Package cluster implements the live node runtime of GuanYu: one goroutine
+// per parameter server and per worker, communicating through a
+// transport.Endpoint (in-process or TCP), executing the three-phase protocol
+// of the paper with quorum-based progress — no timing assumptions beyond the
+// per-collect safety timeout used to convert bugs into test failures.
+//
+// Protocol, per step t (Figure 2 of the paper):
+//
+//  1. each server broadcasts its parameter vector to every worker; each
+//     worker aggregates the first q received with the coordinate-wise
+//     median and computes a stochastic gradient there;
+//  2. each worker broadcasts its gradient to every server; each server
+//     aggregates the first q̄ received with Multi-Krum and applies a local
+//     SGD update;
+//  3. each server broadcasts its updated vector to its peers and aggregates
+//     the first q received (its own vector included) with the median —
+//     the contraction round.
+//
+// Byzantine nodes run the same loops but pass every outbound vector through
+// an attack.Attack, which may replace it (corruption, equivocation) or
+// suppress it (silence).
+//
+// # Wire framing
+//
+// With ShardSize set (ServerConfig/WorkerConfig/LiveConfig), every
+// broadcast streams as fixed coordinate shards and every quorum collects
+// incrementally through a transport.ShardCollector feeding the rule's
+// gar.ShardStreamer: each shard aggregates the moment its first-q set
+// completes, so peak receive memory is O(q·shard) instead of O(n·d) and
+// aggregation overlaps the network receive. Aggregates are bit-identical
+// to the whole-vector path at any shard size and parallelism (the
+// regression suite asserts it). Rules without a streaming path — and
+// deployments mixing sharded and whole-vector nodes — fall back to the
+// classic Collector, which reassembles inbound chunk streams per sender,
+// so the two framings interoperate within one deployment.
+//
+// # Invariants
+//
+//   - Quorum membership and order are decided by arrival time alone; the
+//     inbound validator discards malformed payloads (wrong dimension,
+//     non-finite values, anonymous senders) so they act as silence, never
+//     as poison.
+//   - Send errors are dropped: the network model is best-effort and the
+//     quorum discipline tolerates missing messages.
+//   - Payload immutability from the Send boundary on is the transport's
+//     job; node loops mutate their one parameter vector freely between
+//     broadcasts.
+package cluster

@@ -73,6 +73,10 @@ type LiveConfig struct {
 	// Momentum, when positive, enables heavy-ball momentum on server
 	// updates (extension; see ServerConfig.Momentum).
 	Momentum float64
+	// ShardSize, when positive, streams every vector as coordinate shards
+	// of that many coordinates and aggregates inbound shards incrementally
+	// (see ServerConfig.ShardSize). Zero keeps whole-vector framing.
+	ShardSize int
 }
 
 // Validate checks the deployment against the theoretical requirements of the
@@ -245,6 +249,7 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 			Attack:          cfg.ServerAttacks[i],
 			Momentum:        cfg.Momentum,
 			View:            serverView,
+			ShardSize:       cfg.ShardSize,
 		}
 		if scfg.Attack == nil {
 			scfg.Suspicion = cfg.Suspicion // honest servers report exclusions
@@ -292,6 +297,7 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 			Timeout:      cfg.timeout(),
 			Attack:       cfg.WorkerAttacks[j],
 			View:         workerView,
+			ShardSize:    cfg.ShardSize,
 		}
 		wep := ep
 		if wcfg.Attack == nil {

@@ -1,24 +1,3 @@
-// Package cluster implements the live node runtime of GuanYu: one goroutine
-// per parameter server and per worker, communicating through a
-// transport.Endpoint (in-process or TCP), executing the three-phase protocol
-// of the paper with quorum-based progress — no timing assumptions beyond the
-// per-collect safety timeout used to convert bugs into test failures.
-//
-// Protocol, per step t (Figure 2 of the paper):
-//
-//  1. each server broadcasts its parameter vector to every worker; each
-//     worker aggregates the first q received with the coordinate-wise
-//     median and computes a stochastic gradient there;
-//  2. each worker broadcasts its gradient to every server; each server
-//     aggregates the first q̄ received with Multi-Krum and applies a local
-//     SGD update;
-//  3. each server broadcasts its updated vector to its peers and aggregates
-//     the first q received (its own vector included) with the median —
-//     the contraction round.
-//
-// Byzantine nodes run the same loops but pass every outbound vector through
-// an attack.Attack, which may replace it (corruption, equivocation) or
-// suppress it (silence).
 package cluster
 
 import (
@@ -48,14 +27,24 @@ func validator(dim int) func(transport.Message) bool {
 	}
 }
 
+// shardValidator is the sharded path's inbound filter: sender identity and
+// finite payload, applied per frame (whole vector or single shard).
+// Dimension and shard-extent checks are the ShardCollector's layout job.
+func shardValidator(m transport.Message) bool {
+	return m.From != "" && tensor.IsFinite(m.Vec)
+}
+
 // send transmits vec to the named receiver, routing it through att when the
-// node is Byzantine. A nil attack means honest. Send errors are deliberately
-// dropped: the network model is best-effort and the quorum discipline
-// tolerates missing messages. Payload immutability is the transport's job:
-// every Endpoint delivers a snapshot (the in-process network clones, TCP
-// copies by serialising), so a sender may keep mutating vec afterwards.
+// node is Byzantine. A nil attack means honest. A positive shardSize streams
+// the vector as chunk frames (see transport.SendSharded); corruption
+// happens on the whole vector first, so a Byzantine payload shards exactly
+// like an honest one. Send errors are deliberately dropped: the network
+// model is best-effort and the quorum discipline tolerates missing
+// messages. Payload immutability is the transport's job: every Endpoint
+// delivers a snapshot (the in-process network clones, TCP copies by
+// serialising), so a sender may keep mutating vec afterwards.
 func send(ep transport.Endpoint, att attack.Attack, kind transport.Kind,
-	step int, to string, vec tensor.Vector) {
+	step int, to string, vec tensor.Vector, shardSize int) {
 	out := vec
 	if att != nil {
 		out = att.Corrupt(vec, step, to)
@@ -63,7 +52,39 @@ func send(ep transport.Endpoint, att attack.Attack, kind transport.Kind,
 			return // silent this message
 		}
 	}
-	_ = ep.Send(to, transport.Message{Kind: kind, Step: step, Vec: out})
+	m := transport.Message{Kind: kind, Step: step, Vec: out}
+	if shardSize > 0 {
+		_ = transport.SendSharded(ep, to, m, shardSize)
+		return
+	}
+	_ = ep.Send(to, m)
+}
+
+// collectStreamed runs one incremental shard quorum: every completed shard
+// feeds the rule's streamer as it arrives, and the aggregate materialises
+// the moment the last shard's quorum closes. Returns the pinned sender
+// order (nil for per-shard quorums), the streamer's selected indices when
+// the rule is selective (Multi-Krum's accountability signal), and the
+// aggregated vector.
+func collectStreamed(col *transport.ShardCollector, kind transport.Kind, step, q int,
+	self tensor.Vector, selfID string, rule gar.StreamingRule, timeout time.Duration,
+) (senders []string, kept []int, out tensor.Vector, err error) {
+	st := rule.NewStreamer(col.Layout.Dim)
+	fold := func(lo, hi int, _ []string, inputs []tensor.Vector) error {
+		return st.Fold(lo, hi, inputs)
+	}
+	senders, err = col.Collect(kind, step, q, self, selfID, rule.PinnedQuorum(), fold, timeout)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out, err = st.Result()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if sel, ok := st.(interface{ SelectedIndices() []int }); ok {
+		kept = sel.SelectedIndices()
+	}
+	return senders, kept, out, nil
 }
 
 // ServerConfig parameterises one parameter-server node.
@@ -114,6 +135,16 @@ type ServerConfig struct {
 	// update: v ← β·v + F(...); θ ← θ − η_t·v (extension beyond the
 	// paper's plain SGD; mirrors core.Config.Momentum).
 	Momentum float64
+	// ShardSize, when positive, streams every outbound vector as chunk
+	// frames of that many coordinates and — when both rules support
+	// streaming — aggregates inbound shards incrementally as their quorums
+	// fill (see transport.ShardCollector). Results are bit-identical to the
+	// whole-vector path. Peak receive buffering drops from O(n·d) to
+	// O(q·shard) for coordinate-wise rules; Multi-Krum's streamer retains
+	// its q pinned inputs until the post-selection mean (an O(q·d) floor,
+	// still the n→q drop with the distance pass overlapped). Zero keeps
+	// whole-vector framing.
+	ShardSize int
 }
 
 // RunServer executes the server loop and returns the node's final parameter
@@ -121,8 +152,28 @@ type ServerConfig struct {
 // timeout or the endpoint closes.
 func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
 	dim := len(cfg.Init)
-	col := transport.NewCollector(ep)
-	col.Validator = validator(dim)
+	// With a shard size set and both rules streaming-capable, inbound
+	// traffic is consumed shard-by-shard through a ShardCollector;
+	// otherwise the classic whole-vector Collector runs (it reassembles
+	// chunk frames, so sharded senders interoperate either way).
+	var (
+		col                     *transport.Collector
+		scol                    *transport.ShardCollector
+		gradStream, paramStream gar.StreamingRule
+	)
+	if cfg.ShardSize > 0 {
+		g, gOK := cfg.GradRule.(gar.StreamingRule)
+		p, pOK := cfg.ParamRule.(gar.StreamingRule)
+		if gOK && pOK {
+			gradStream, paramStream = g, p
+			scol = transport.NewShardCollector(ep, transport.NewShardLayout(dim, cfg.ShardSize))
+			scol.Validator = shardValidator
+		}
+	}
+	if scol == nil {
+		col = transport.NewCollector(ep)
+		col.Validator = validator(dim)
+	}
 	theta := tensor.Clone(cfg.Init)
 	var velocity tensor.Vector
 	if cfg.Momentum > 0 {
@@ -130,7 +181,11 @@ func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
 	}
 
 	for t := 0; t < cfg.Steps; t++ {
-		col.Advance(t)
+		if scol != nil {
+			scol.Advance(t)
+		} else {
+			col.Advance(t)
+		}
 		cfg.Trace.Record(cfg.ID, t, trace.EventStepStart, "")
 
 		// Phase 1: publish the current model to every worker. Honest servers
@@ -144,35 +199,56 @@ func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
 			}
 		}
 		for _, w := range cfg.Workers {
-			send(ep, cfg.Attack, transport.KindParams, t, w, theta)
+			send(ep, cfg.Attack, transport.KindParams, t, w, theta, cfg.ShardSize)
 		}
 		cfg.Trace.Recordf(cfg.ID, t, trace.EventBroadcast, "params to %d workers", len(cfg.Workers))
 
-		// Phase 2: gather a quorum of gradients and update locally.
-		msgs, err := col.Collect(transport.KindGradient, t, cfg.QuorumGradients, cfg.Timeout)
-		if err != nil {
-			cfg.Trace.Recordf(cfg.ID, t, trace.EventError, "%v", err)
-			return nil, fmt.Errorf("server %s step %d: %w", cfg.ID, t, err)
-		}
-		cfg.Trace.Recordf(cfg.ID, t, trace.EventQuorumComplete, "q̄=%d gradients", len(msgs))
-		grads := make([]tensor.Vector, len(msgs))
-		senders := make([]string, len(msgs))
-		for i, m := range msgs {
-			grads[i] = m.Vec
-			senders[i] = m.From
-		}
-		agg, err := cfg.GradRule.Aggregate(grads)
-		if err != nil {
-			return nil, fmt.Errorf("server %s step %d: aggregate gradients: %w", cfg.ID, t, err)
-		}
-		if cfg.Suspicion != nil {
-			if sel, ok := cfg.GradRule.(gar.SelectiveRule); ok {
-				if kept, err := sel.SelectIndices(grads); err == nil {
-					keptIDs := make([]string, len(kept))
-					for i, k := range kept {
-						keptIDs[i] = senders[k]
+		// Phase 2: gather a quorum of gradients and update locally. On the
+		// sharded path the aggregation streams: partial distance/median work
+		// runs while later shards are still in flight.
+		var agg tensor.Vector
+		if scol != nil {
+			senders, kept, a, err := collectStreamed(scol, transport.KindGradient, t,
+				cfg.QuorumGradients, nil, "", gradStream, cfg.Timeout)
+			if err != nil {
+				cfg.Trace.Recordf(cfg.ID, t, trace.EventError, "%v", err)
+				return nil, fmt.Errorf("server %s step %d: %w", cfg.ID, t, err)
+			}
+			cfg.Trace.Recordf(cfg.ID, t, trace.EventQuorumComplete, "q̄=%d gradients (sharded)", cfg.QuorumGradients)
+			agg = a
+			if cfg.Suspicion != nil && kept != nil && len(senders) > 0 {
+				keptIDs := make([]string, len(kept))
+				for i, k := range kept {
+					keptIDs[i] = senders[k]
+				}
+				cfg.Suspicion.Observe(senders, keptIDs)
+			}
+		} else {
+			msgs, err := col.Collect(transport.KindGradient, t, cfg.QuorumGradients, cfg.Timeout)
+			if err != nil {
+				cfg.Trace.Recordf(cfg.ID, t, trace.EventError, "%v", err)
+				return nil, fmt.Errorf("server %s step %d: %w", cfg.ID, t, err)
+			}
+			cfg.Trace.Recordf(cfg.ID, t, trace.EventQuorumComplete, "q̄=%d gradients", len(msgs))
+			grads := make([]tensor.Vector, len(msgs))
+			senders := make([]string, len(msgs))
+			for i, m := range msgs {
+				grads[i] = m.Vec
+				senders[i] = m.From
+			}
+			agg, err = cfg.GradRule.Aggregate(grads)
+			if err != nil {
+				return nil, fmt.Errorf("server %s step %d: aggregate gradients: %w", cfg.ID, t, err)
+			}
+			if cfg.Suspicion != nil {
+				if sel, ok := cfg.GradRule.(gar.SelectiveRule); ok {
+					if kept, err := sel.SelectIndices(grads); err == nil {
+						keptIDs := make([]string, len(kept))
+						for i, k := range kept {
+							keptIDs[i] = senders[k]
+						}
+						cfg.Suspicion.Observe(senders, keptIDs)
 					}
-					cfg.Suspicion.Observe(senders, keptIDs)
 				}
 			}
 		}
@@ -192,20 +268,31 @@ func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
 				}
 			}
 			for _, p := range cfg.Peers {
-				send(ep, cfg.Attack, transport.KindPeerParams, t, p, theta)
+				send(ep, cfg.Attack, transport.KindPeerParams, t, p, theta, cfg.ShardSize)
 			}
-			peerMsgs, err := col.Collect(transport.KindPeerParams, t, cfg.QuorumParams-1, cfg.Timeout)
-			if err != nil {
-				return nil, fmt.Errorf("server %s step %d: %w", cfg.ID, t, err)
-			}
-			vecs := make([]tensor.Vector, 0, len(peerMsgs)+1)
-			vecs = append(vecs, theta)
-			for _, m := range peerMsgs {
-				vecs = append(vecs, m.Vec)
-			}
-			theta, err = cfg.ParamRule.Aggregate(vecs)
-			if err != nil {
-				return nil, fmt.Errorf("server %s step %d: aggregate params: %w", cfg.ID, t, err)
+			if scol != nil {
+				// The node's own θ rides along as input 0 of every shard —
+				// "its own vector included" without a loopback message.
+				_, _, newTheta, err := collectStreamed(scol, transport.KindPeerParams, t,
+					cfg.QuorumParams-1, theta, cfg.ID, paramStream, cfg.Timeout)
+				if err != nil {
+					return nil, fmt.Errorf("server %s step %d: %w", cfg.ID, t, err)
+				}
+				theta = newTheta
+			} else {
+				peerMsgs, err := col.Collect(transport.KindPeerParams, t, cfg.QuorumParams-1, cfg.Timeout)
+				if err != nil {
+					return nil, fmt.Errorf("server %s step %d: %w", cfg.ID, t, err)
+				}
+				vecs := make([]tensor.Vector, 0, len(peerMsgs)+1)
+				vecs = append(vecs, theta)
+				for _, m := range peerMsgs {
+					vecs = append(vecs, m.Vec)
+				}
+				theta, err = cfg.ParamRule.Aggregate(vecs)
+				if err != nil {
+					return nil, fmt.Errorf("server %s step %d: aggregate params: %w", cfg.ID, t, err)
+				}
 			}
 		}
 	}
@@ -239,29 +326,57 @@ type WorkerConfig struct {
 	// honest workers publish their gradient each step, omniscient
 	// Byzantine workers snapshot the set published so far.
 	View *attack.SharedView
+	// ShardSize mirrors ServerConfig.ShardSize for the worker's traffic.
+	ShardSize int
 }
 
 // RunWorker executes the worker loop.
 func RunWorker(ep transport.Endpoint, cfg WorkerConfig) error {
 	dim := cfg.Model.ParamCount()
-	col := transport.NewCollector(ep)
-	col.Validator = validator(dim)
+	var (
+		col         *transport.Collector
+		scol        *transport.ShardCollector
+		paramStream gar.StreamingRule
+	)
+	if cfg.ShardSize > 0 {
+		if p, ok := cfg.ParamRule.(gar.StreamingRule); ok {
+			paramStream = p
+			scol = transport.NewShardCollector(ep, transport.NewShardLayout(dim, cfg.ShardSize))
+			scol.Validator = shardValidator
+		}
+	}
+	if scol == nil {
+		col = transport.NewCollector(ep)
+		col.Validator = validator(dim)
+	}
 
 	for t := 0; t < cfg.Steps; t++ {
-		col.Advance(t)
-
-		// Phase 1: await a quorum of parameter vectors and aggregate.
-		msgs, err := col.Collect(transport.KindParams, t, cfg.QuorumParams, cfg.Timeout)
-		if err != nil {
-			return fmt.Errorf("worker %s step %d: %w", cfg.ID, t, err)
-		}
-		params := make([]tensor.Vector, len(msgs))
-		for i, m := range msgs {
-			params[i] = m.Vec
-		}
-		agg, err := cfg.ParamRule.Aggregate(params)
-		if err != nil {
-			return fmt.Errorf("worker %s step %d: aggregate params: %w", cfg.ID, t, err)
+		var agg tensor.Vector
+		if scol != nil {
+			scol.Advance(t)
+			// Phase 1 (sharded): aggregate each parameter shard the moment
+			// its quorum fills.
+			_, _, a, err := collectStreamed(scol, transport.KindParams, t,
+				cfg.QuorumParams, nil, "", paramStream, cfg.Timeout)
+			if err != nil {
+				return fmt.Errorf("worker %s step %d: %w", cfg.ID, t, err)
+			}
+			agg = a
+		} else {
+			col.Advance(t)
+			// Phase 1: await a quorum of parameter vectors and aggregate.
+			msgs, err := col.Collect(transport.KindParams, t, cfg.QuorumParams, cfg.Timeout)
+			if err != nil {
+				return fmt.Errorf("worker %s step %d: %w", cfg.ID, t, err)
+			}
+			params := make([]tensor.Vector, len(msgs))
+			for i, m := range msgs {
+				params[i] = m.Vec
+			}
+			agg, err = cfg.ParamRule.Aggregate(params)
+			if err != nil {
+				return fmt.Errorf("worker %s step %d: aggregate params: %w", cfg.ID, t, err)
+			}
 		}
 		if err := cfg.Model.SetParamVector(agg); err != nil {
 			return fmt.Errorf("worker %s step %d: %w", cfg.ID, t, err)
@@ -282,7 +397,7 @@ func RunWorker(ep transport.Endpoint, cfg WorkerConfig) error {
 			}
 		}
 		for _, s := range cfg.Servers {
-			send(ep, cfg.Attack, transport.KindGradient, t, s, grad)
+			send(ep, cfg.Attack, transport.KindGradient, t, s, grad, cfg.ShardSize)
 		}
 	}
 	return nil

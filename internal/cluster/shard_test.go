@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/gar"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// TestLiveShardedConverges runs the full live protocol with every vector
+// streamed as chunk frames (a prime shard size that does not divide the
+// model dimension) and incremental shard quorums on the receive side.
+func TestLiveShardedConverges(t *testing.T) {
+	model, train, test := testProblem(100)
+	cfg := LiveConfig{
+		Model:      model,
+		Train:      train,
+		NumServers: 6, FServers: 1,
+		NumWorkers: 6, FWorkers: 1,
+		Steps: 80, Batch: 16,
+		LR:        func(int) float64 { return 0.2 },
+		Timeout:   60 * time.Second,
+		Seed:      1,
+		ShardSize: 13,
+	}
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ServerParams) != 6 {
+		t.Fatalf("expected 6 honest finals, got %d", len(res.ServerParams))
+	}
+	if acc := evalFinal(t, model, res.Final, test); acc < 0.9 {
+		t.Fatalf("sharded GuanYu failed to converge: accuracy %.3f", acc)
+	}
+}
+
+// TestLiveShardedSurvivesByzantineAndFaults arms Byzantine workers AND
+// per-shard-frame network faults at once: the incremental quorums must
+// absorb duplicated and delay-spiked chunk frames while Multi-Krum's
+// streaming two-pass path filters the attacked gradients. Faults that can
+// defer a frame past its round (drops, reorder holds) are excluded here:
+// a pinned membership cannot substitute senders, so its liveness needs
+// within-round delivery — see the ShardCollector doc and
+// TestLiveShardedMedianSurvivesDrops for the lossy-link mode.
+func TestLiveShardedSurvivesByzantineAndFaults(t *testing.T) {
+	model, train, test := testProblem(200)
+	sus := stats.NewSuspicion()
+	cfg := LiveConfig{
+		Model:      model,
+		Train:      train,
+		NumServers: 6, FServers: 1,
+		NumWorkers: 9, FWorkers: 2,
+		Steps: 60, Batch: 16,
+		LR:      func(int) float64 { return 0.2 },
+		Timeout: 60 * time.Second,
+		Seed:    2,
+		WorkerAttacks: map[int]attack.Attack{
+			0: attack.SignFlip{Scale: 30},
+			1: attack.SignFlip{Scale: 30},
+		},
+		Faults: transport.NewFaultInjector(transport.FaultConfig{
+			Seed: 3, Duplicate: 0.05, DelayRate: 0.1, DelaySpike: 0.002,
+		}),
+		Suspicion: sus,
+		ShardSize: 13,
+	}
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := evalFinal(t, model, res.Final, test); acc < 0.85 {
+		t.Fatalf("sharded GuanYu under attack+faults: accuracy %.3f", acc)
+	}
+	// The streaming Multi-Krum path must keep feeding the accountability
+	// signal: the attacked workers should top the exclusion ranking.
+	ranking := sus.Ranking()
+	if len(ranking) < 2 {
+		t.Fatalf("no suspicion recorded on the sharded path")
+	}
+	top := map[string]bool{ranking[0].Sender: true, ranking[1].Sender: true}
+	if !top[WorkerID(0)] || !top[WorkerID(1)] {
+		t.Fatalf("attacked workers not top-ranked: %v", ranking[:2])
+	}
+}
+
+// TestLiveShardedMedianSurvivesDrops covers the lossy-link case: with a
+// coordinate-wise gradient rule, every shard's quorum is its own first q
+// arrivals, so a dropped or reorder-held chunk frame costs its sender one
+// shard's slot and nothing else — the per-shard counterpart of the
+// whole-vector quorum margin. Populations are sized for real margins
+// (n−q = 3 servers, n̄−q̄ = 5 workers), because every lost frame consumes
+// margin exactly as a silent sender would.
+func TestLiveShardedMedianSurvivesDrops(t *testing.T) {
+	model, train, test := testProblem(400)
+	cfg := LiveConfig{
+		Model:      model,
+		Train:      train,
+		NumServers: 8, FServers: 1,
+		NumWorkers: 12, FWorkers: 2,
+		Steps: 40, Batch: 16,
+		LR:      func(int) float64 { return 0.2 },
+		Timeout: 60 * time.Second,
+		Seed:    5,
+		Rule:    gar.Median{},
+		Faults: transport.NewFaultInjector(transport.FaultConfig{
+			Seed: 6, Drop: 0.01, Duplicate: 0.02, Reorder: 0.02,
+		}),
+		ShardSize: 13,
+	}
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := evalFinal(t, model, res.Final, test); acc < 0.85 {
+		t.Fatalf("sharded median under drops: accuracy %.3f", acc)
+	}
+}
+
+// TestShardedOverTCP runs sharded node loops over real TCP sockets: chunk
+// frames on the wire, hello-authenticated connections, incremental shard
+// quorums at the receivers, plus one whole-vector (unsharded) worker to
+// prove the two framings interoperate inside one deployment.
+func TestShardedOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up 12 TCP listeners")
+	}
+	const (
+		numServers, fServers = 6, 1
+		numWorkers, fWorkers = 6, 1
+		steps, batch         = 30, 16
+	)
+	model, train, test := testProblem(300)
+	theta0 := model.ParamVector()
+	dim := len(theta0)
+	shardSize := dim/3 + 1 // three shards, the last a short remainder
+
+	ids := make([]string, 0, numServers+numWorkers)
+	for i := 0; i < numServers; i++ {
+		ids = append(ids, ServerID(i))
+	}
+	for j := 0; j < numWorkers; j++ {
+		ids = append(ids, WorkerID(j))
+	}
+	nodes := make(map[string]*transport.TCPNode, len(ids))
+	for _, id := range ids {
+		n, err := transport.ListenTCP(id, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes[id] = n
+	}
+	for _, n := range nodes {
+		for _, id := range ids {
+			if id != n.ID() {
+				if err := n.AddPeer(id, nodes[id].Addr()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	serverIDs, workerIDs := ids[:numServers], ids[numServers:]
+	rng := tensor.NewRNG(77)
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		finals []tensor.Vector
+		errs   []error
+	)
+	for i := 0; i < numServers; i++ {
+		peers := make([]string, 0, numServers-1)
+		for k, id := range serverIDs {
+			if k != i {
+				peers = append(peers, id)
+			}
+		}
+		scfg := ServerConfig{
+			ID: serverIDs[i], Workers: workerIDs, Peers: peers,
+			Init:     theta0,
+			GradRule: gar.MultiKrum{F: fWorkers}, ParamRule: gar.Median{},
+			QuorumGradients: gar.MinQuorum(fWorkers),
+			QuorumParams:    gar.MinQuorum(fServers),
+			Steps:           steps,
+			LR:              func(int) float64 { return 0.2 },
+			Timeout:         time.Minute,
+			ShardSize:       shardSize,
+		}
+		ep := nodes[serverIDs[i]]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			theta, err := RunServer(ep, scfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			finals = append(finals, theta)
+		}()
+	}
+	for j := 0; j < numWorkers; j++ {
+		wcfg := WorkerConfig{
+			ID: workerIDs[j], Servers: serverIDs,
+			Model:   model.Clone(),
+			Sampler: dataset.NewSampler(train, rng.Split()),
+			Batch:   batch, ParamRule: gar.Median{},
+			QuorumParams: gar.MinQuorum(fServers),
+			Steps:        steps,
+			Timeout:      time.Minute,
+			ShardSize:    shardSize,
+		}
+		if j == numWorkers-1 {
+			wcfg.ShardSize = 0 // whole-vector node inside a sharded deployment
+		}
+		ep := nodes[workerIDs[j]]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunWorker(ep, wcfg); err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		t.Fatalf("sharded TCP deployment failed: %v", errs[0])
+	}
+	if len(finals) != numServers {
+		t.Fatalf("expected %d finals, got %d", numServers, len(finals))
+	}
+	final, err := gar.Median{}.Aggregate(finals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := evalFinal(t, model, final, test); acc < 0.8 {
+		t.Fatalf("sharded TCP deployment failed to converge: accuracy %.3f", acc)
+	}
+}

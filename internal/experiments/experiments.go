@@ -1,15 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (Section 5). Each experiment returns both structured results
-// and a formatted text rendering; cmd/guanyu-bench prints them, the root
-// benchmark suite wraps them in testing.B, and EXPERIMENTS.md (see its
-// "Experiment index" and "Measured column" sections) records the measured
-// outcomes next to the paper's.
-//
-// The independent runs of one experiment — the five systems of Figure 3,
-// the rule ablation's six rules, a sweep's points — execute concurrently on
-// the shared worker pool (bounded by guanyu.SetParallelism / the -parallel
-// flag). Every run is a self-contained deterministic simulation writing to
-// its own result slot, so concurrency never changes any number.
 package experiments
 
 import (

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/gar"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// The memory experiment prices the receive path's buffering: the
+// whole-vector Collector holds O(q·d) payload bytes before aggregation can
+// even start (~70 MB at the paper's 1,756,426-coordinate dimension with
+// q=5), and every byte of aggregation work waits for the last byte of
+// network receive — the "non-optimised low-level runtime" overhead the
+// paper blames for ≈65% of GuanYu's slowdown (Section 5.3). Chunked
+// streaming (transport.ShardCollector) caps the buffer at O(q·shard) and
+// folds each shard into the aggregation the moment its quorum fills, so
+// the receive stream and the aggregation arithmetic overlap. This
+// experiment replays one identical arrival schedule through both
+// collectors and reports peak buffered bytes, the receive→aggregate
+// overlap, and a bit-identity check of the two aggregates.
+
+// memoryDims are the payload dimensions measured: the tiny harness CNN and
+// the paper's full Table-1 model.
+var memoryDims = []int{2726, 1756426}
+
+// memorySenders and memoryQuorum shape the replayed round: n senders
+// racing into a first-q quorum — the contraction round's shape at the
+// paper's server population, with the q=5 quorum the acceptance target
+// uses.
+const (
+	memorySenders = 8
+	memoryQuorum  = 5
+)
+
+// defaultShardSize picks the measured shard width when the caller passes
+// none: 64 Ki coordinates (512 KiB frames) at full scale, a sixteenth of
+// the dimension for models smaller than one such shard.
+func defaultShardSize(dim int) int {
+	if dim > 1<<16 {
+		return 1 << 16
+	}
+	size := dim / 16
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// MemoryRow is one dimension's whole-vs-sharded measurement.
+type MemoryRow struct {
+	// Dim is the payload dimension; ShardSize the measured shard width;
+	// Shards the resulting shard count.
+	Dim, ShardSize, Shards int
+	// Senders and Quorum are n and q of the replayed round.
+	Senders, Quorum int
+	// WholePeakBytes and ShardedPeakBytes are the collectors' high-water
+	// buffer marks over the identical arrival schedule.
+	WholePeakBytes, ShardedPeakBytes int
+	// Ratio is ShardedPeakBytes / WholePeakBytes.
+	Ratio float64
+	// OverlapFolds of Folds shard aggregations completed while frames were
+	// still arriving (the whole-vector path overlaps nothing by
+	// construction); OverlapFrac is their fraction.
+	Folds, OverlapFolds int
+	OverlapFrac         float64
+	// BitIdentical reports that the sharded aggregate carried the exact
+	// bits of the whole-vector aggregate.
+	BitIdentical bool
+}
+
+// memoryFeed builds one deterministic arrival schedule: n whole vectors
+// (for the Collector) and their round-robin shard interleaving (for the
+// ShardCollector) — shard 0 from every sender, then shard 1, and so on,
+// the steady state of n peers streaming concurrently over fair links.
+func memoryFeed(rng *tensor.RNG, dim, senders int) []tensor.Vector {
+	vecs := make([]tensor.Vector, senders)
+	for i := range vecs {
+		vecs[i] = rng.NormVec(make(tensor.Vector, dim), 0, 1)
+	}
+	return vecs
+}
+
+// memoryEndpoints registers one receiver and n senders on a fresh
+// in-process network and returns their endpoints.
+func memoryEndpoints(n int) (*transport.ChanNetwork, transport.Endpoint, []transport.Endpoint, error) {
+	net := transport.NewChanNetwork(nil)
+	recv, err := net.Register("recv")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	eps := make([]transport.Endpoint, n)
+	for i := range eps {
+		if eps[i], err = net.Register(fmt.Sprintf("s%d", i)); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return net, recv, eps, nil
+}
+
+// Memory replays the schedule through both collectors at every measured
+// dimension. shardSize overrides the per-dimension default when positive
+// (the -shard flag on guanyu-bench). Peak bytes and the overlap count are
+// deterministic — they derive from one FIFO arrival order — while the
+// aggregates must match bit-for-bit.
+func Memory(s Scale, shardSize int) ([]MemoryRow, error) {
+	rng := tensor.NewRNG(s.Seed)
+	rows := make([]MemoryRow, 0, len(memoryDims))
+	const timeout = 30 * time.Second
+	for _, dim := range memoryDims {
+		size := shardSize
+		if size <= 0 {
+			size = defaultShardSize(dim)
+		}
+		if size > dim {
+			size = dim
+		}
+		vecs := memoryFeed(rng, dim, memorySenders)
+
+		// Whole-vector path: every sender ships its full vector; the
+		// collector buffers q of them before the rule sees a single byte.
+		net, recv, eps, err := memoryEndpoints(memorySenders)
+		if err != nil {
+			return nil, err
+		}
+		for i, ep := range eps {
+			if err := ep.Send("recv", transport.Message{
+				Kind: transport.KindPeerParams, Step: 0, Vec: vecs[i],
+			}); err != nil {
+				net.Close()
+				return nil, err
+			}
+		}
+		col := transport.NewCollector(recv)
+		msgs, err := col.Collect(transport.KindPeerParams, 0, memoryQuorum, timeout)
+		if err != nil {
+			net.Close()
+			return nil, fmt.Errorf("memory: whole-vector collect: %w", err)
+		}
+		wholePeak := col.PeakBytes()
+		quorum := make([]tensor.Vector, len(msgs))
+		for i, m := range msgs {
+			quorum[i] = m.Vec
+		}
+		want, err := gar.Median{}.Aggregate(quorum)
+		net.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		// Sharded path: the same vectors as round-robin chunk frames; each
+		// shard folds into the streaming median as its quorum fills, while
+		// later shards are still arriving.
+		layout := transport.NewShardLayout(dim, size)
+		net, recv, eps, err = memoryEndpoints(memorySenders)
+		if err != nil {
+			return nil, err
+		}
+		frames := make([][]transport.Message, memorySenders)
+		for i := range frames {
+			frames[i] = transport.SplitMessage(transport.Message{
+				Kind: transport.KindPeerParams, Step: 0, Vec: vecs[i],
+			}, size)
+		}
+		for shard := 0; shard < layout.Count(); shard++ {
+			for i, ep := range eps {
+				if err := ep.Send("recv", frames[i][shard]); err != nil {
+					net.Close()
+					return nil, err
+				}
+			}
+		}
+		scol := transport.NewShardCollector(recv, layout)
+		streamer := gar.Median{}.NewStreamer(dim)
+		total := memorySenders * layout.Count()
+		folds, overlap := 0, 0
+		fold := func(lo, hi int, _ []string, inputs []tensor.Vector) error {
+			folds++
+			if scol.StoredFrames() < total {
+				overlap++
+			}
+			return streamer.Fold(lo, hi, inputs)
+		}
+		if _, err := scol.Collect(transport.KindPeerParams, 0, memoryQuorum,
+			nil, "", false, fold, timeout); err != nil {
+			net.Close()
+			return nil, fmt.Errorf("memory: sharded collect: %w", err)
+		}
+		got, err := streamer.Result()
+		net.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		identical := len(got) == len(want)
+		for i := 0; identical && i < len(got); i++ {
+			identical = math.Float64bits(got[i]) == math.Float64bits(want[i])
+		}
+		rows = append(rows, MemoryRow{
+			Dim: dim, ShardSize: size, Shards: layout.Count(),
+			Senders: memorySenders, Quorum: memoryQuorum,
+			WholePeakBytes: wholePeak, ShardedPeakBytes: scol.PeakBytes(),
+			Ratio:        float64(scol.PeakBytes()) / float64(wholePeak),
+			Folds:        folds,
+			OverlapFolds: overlap,
+			OverlapFrac:  float64(overlap) / float64(folds),
+			BitIdentical: identical,
+		})
+	}
+	return rows, nil
+}
+
+// FormatMemory renders the peak-memory table.
+func FormatMemory(rows []MemoryRow) string {
+	var b strings.Builder
+	b.WriteString("# Collector memory: whole-vector vs chunked streaming (first-q quorum, coordinate-median)\n")
+	fmt.Fprintf(&b, "(n=%d senders racing into q=%d, one FIFO arrival schedule replayed through both paths)\n",
+		memorySenders, memoryQuorum)
+	fmt.Fprintf(&b, "%-9s %-9s %-8s %-14s %-14s %-8s %-9s %-9s\n",
+		"dim", "shard", "shards", "whole peak", "sharded peak", "ratio", "overlap", "bits")
+	for _, r := range rows {
+		bits := "IDENTICAL"
+		if !r.BitIdentical {
+			bits = "DIFFER"
+		}
+		fmt.Fprintf(&b, "%-9d %-9d %-8d %-14s %-14s %-8.3f %-9s %-9s\n",
+			r.Dim, r.ShardSize, r.Shards,
+			formatBytes(r.WholePeakBytes), formatBytes(r.ShardedPeakBytes),
+			r.Ratio,
+			fmt.Sprintf("%d/%d", r.OverlapFolds, r.Folds), bits)
+	}
+	b.WriteString("expected: sharded peak ≤ 25% of whole at the paper dimension; overlap ≈ all folds; bits identical\n")
+	return b.String()
+}
+
+// formatBytes renders a byte count with a binary-unit suffix.
+func formatBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestMemoryExperiment runs the whole-vs-sharded comparison at a reduced
+// dimension set (overridden via the package-internal dims would drag CI;
+// the tiny dimension alone exercises every code path) and asserts the
+// acceptance shape: sharded peak well under the whole-vector peak,
+// aggregation overlapping the receive stream, and bit-identical outputs.
+func TestMemoryExperiment(t *testing.T) {
+	rows, err := Memory(Scale{Seed: 42}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(memoryDims) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(memoryDims))
+	}
+	for _, r := range rows {
+		if !r.BitIdentical {
+			t.Fatalf("dim %d: sharded aggregate differs from whole-vector", r.Dim)
+		}
+		if r.Ratio > 0.25 {
+			t.Fatalf("dim %d: sharded peak is %.1f%% of whole-vector, want ≤ 25%%", r.Dim, 100*r.Ratio)
+		}
+		if r.OverlapFolds == 0 {
+			t.Fatalf("dim %d: no aggregation overlapped the receive stream", r.Dim)
+		}
+		if r.WholePeakBytes != r.Quorum*r.Dim*8 {
+			t.Fatalf("dim %d: whole peak %d bytes, want q·d·8 = %d", r.Dim, r.WholePeakBytes, r.Quorum*r.Dim*8)
+		}
+	}
+	// The -shard override must change the measured layout; a prime width
+	// that divides neither dimension exercises the remainder shard. (Kept
+	// coarse enough that the paper-dimension replay stays a few thousand
+	// frames — tiny widths explode the frame count, which the race
+	// detector turns into minutes.)
+	rows, err = Memory(Scale{Seed: 42}, 2129)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ShardSize != 2129 {
+			t.Fatalf("dim %d: shard override ignored (size %d)", r.Dim, r.ShardSize)
+		}
+		if !r.BitIdentical {
+			t.Fatalf("dim %d: prime shard size broke bit-identity", r.Dim)
+		}
+	}
+}

@@ -10,7 +10,8 @@ import (
 // ids is the presentation order of the experiment suite: the paper's tables
 // and figures first, then the design-choice ablations.
 var ids = []string{"table1", "fig3", "fig4", "table2", "overhead",
-	"contraction", "quorum", "gar", "async", "noniid", "matrix", "throughput"}
+	"contraction", "quorum", "gar", "async", "noniid", "matrix", "throughput",
+	"memory"}
 
 // IDs returns the experiment identifiers in presentation order.
 func IDs() []string {
@@ -91,6 +92,12 @@ func Run(id string, s Scale, out io.Writer) error {
 			return err
 		}
 		fmt.Fprint(out, FormatThroughput(rows))
+	case "memory":
+		rows, err := Memory(s, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, FormatMemory(rows))
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}

@@ -1,23 +1,3 @@
-// Package gar implements the Gradient Aggregation Rules (GARs) of the paper:
-// the coordinate-wise median M used for parameter-vector aggregation, the
-// Multi-Krum rule F used for gradient aggregation, the vulnerable arithmetic
-// mean baseline, and two extension rules (trimmed mean, Bulyan).
-//
-// A GAR is a function (R^d)^n → R^d. A (α,f)-Byzantine-resilient GAR
-// tolerates f arbitrary inputs among its n inputs. The package also exposes
-// the legality checks the theory requires. The authoritative statement of
-// the bounds lives in guanyu/gar/bounds.go; validate.go and the registry
-// enforce the same statement:
-//
-//	deployment populations  n ≥ 3f+3 (servers), n̄ ≥ 3f̄+3 (workers)
-//	quorums                 2f+3 ≤ q ≤ n−f per role
-//	rule inputs             n ≥ 2f+3 (krum, multi-krum), n ≥ 2f+1
-//	                        (trimmed-mean), n ≥ 4f+3 (bulyan), n ≥ f+1 (mda)
-//
-// The O(n²·d) Krum score matrix and the coordinate loops of the median,
-// trimmed-mean and Bulyan kernels execute through internal/parallel. Every
-// decomposition is element-independent (each output cell owned by one
-// chunk), so results are bit-identical at any parallelism.
 package gar
 
 import (
@@ -164,6 +144,15 @@ func KrumScores(inputs []tensor.Vector, f int) ([]float64, error) {
 			}
 		}
 	})
+	return scoresFromDist(dist, f), nil
+}
+
+// scoresFromDist turns a full pairwise squared-distance matrix into Krum
+// scores: input i scores the sum of its n−f−2 smallest distances to other
+// inputs. Shared verbatim by the whole-vector path and the shard-streaming
+// path, so both produce bit-identical scores from equal matrices.
+func scoresFromDist(dist [][]float64, f int) []float64 {
+	n := len(dist)
 	k := n - f - 2 // number of closest neighbours in the score
 	scores := make([]float64, n)
 	row := make([]float64, 0, n-1)
@@ -181,7 +170,21 @@ func KrumScores(inputs []tensor.Vector, f int) ([]float64, error) {
 		}
 		scores[i] = s
 	}
-	return scores, nil
+	return scores
+}
+
+// smallestByScore returns the indices of the keep smallest scores, ordered
+// by ascending score. Shared by Multi-Krum's whole and streaming selection
+// paths: a deterministic sort over identical score arrays yields identical
+// index permutations, which is what makes the two paths select — and hence
+// aggregate — identically.
+func smallestByScore(scores []float64, keep int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	return idx[:keep]
 }
 
 // Krum selects the single smallest-scoring input (Blanchard et al., 2017).
@@ -268,13 +271,7 @@ func MultiKrumSelectIndices(inputs []tensor.Vector, f int) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := len(inputs)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
-	return idx[:n-f-2], nil
+	return smallestByScore(scores, len(inputs)-f-2), nil
 }
 
 // TrimmedMean is the coordinate-wise trimmed mean: per coordinate, the f
@@ -300,13 +297,21 @@ func (t TrimmedMean) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
 		return nil, fmt.Errorf("%w: trimmed mean needs n ≥ 2f+1, got n=%d f=%d",
 			ErrTooFewInputs, n, t.F)
 	}
-	d := len(inputs[0])
-	out := make(tensor.Vector, d)
-	kept := float64(n - 2*t.F)
-	// Coordinate-chunked: each chunk owns its coordinate range and sorts
-	// into its own column scratch, so the output is identical at any
-	// parallelism.
-	parallel.For(d, coordGrain, func(lo, hi int) {
+	out := make(tensor.Vector, len(inputs[0]))
+	trimmedInto(out, inputs, t.F)
+	return out, nil
+}
+
+// trimmedInto writes the coordinate-wise f-trimmed mean of inputs into dst
+// (dst and every input share one length). Coordinate-chunked: each chunk
+// owns its coordinate range and sorts into its own column scratch, so the
+// output is identical at any parallelism — and because the shard-streaming
+// path calls this same kernel on shard slices, sharded and whole-vector
+// aggregation are bit-identical by construction.
+func trimmedInto(dst tensor.Vector, inputs []tensor.Vector, f int) {
+	n := len(inputs)
+	kept := float64(n - 2*f)
+	parallel.For(len(dst), coordGrain, func(lo, hi int) {
 		col := make([]float64, n)
 		for i := lo; i < hi; i++ {
 			for j, v := range inputs {
@@ -314,13 +319,12 @@ func (t TrimmedMean) Aggregate(inputs []tensor.Vector) (tensor.Vector, error) {
 			}
 			sort.Float64s(col)
 			var s float64
-			for _, x := range col[t.F : n-t.F] {
+			for _, x := range col[f : n-f] {
 				s += x
 			}
-			out[i] = s / kept
+			dst[i] = s / kept
 		}
 	})
-	return out, nil
 }
 
 // Bulyan composes Multi-Krum selection with a coordinate-wise trimmed

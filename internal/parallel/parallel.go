@@ -1,41 +1,3 @@
-// Package parallel is the shared worker-pool subsystem behind every hot
-// kernel in this repository: batch gradients, the Krum score matrix, the
-// coordinate-wise aggregation kernels, and the experiment suite all execute
-// through it.
-//
-// Three properties drive the design:
-//
-//   - Determinism. Parallel execution must never change results. Every
-//     kernel built on this package either decomposes into element-independent
-//     work (each output cell written by exactly one chunk, e.g. a coordinate
-//     range of a median) or uses fixed, size-derived chunk boundaries with an
-//     ordered reduction (e.g. BatchGradient's example chunks). Chunk
-//     boundaries handed to a Runner depend only on (n, grain) — never on the
-//     worker count — and chunks are pulled dynamically, so scheduling varies
-//     run to run while values never do.
-//
-//   - Zero steady-state allocation. The parameter-server aggregation loop is
-//     allocation-free (asserted by the guanyu/gar AllocsPerRun tests), so the
-//     pool must be too: workers are persistent goroutines, dispatch sends a
-//     pre-existing *Runner over a buffered channel, and the per-call state
-//     (cursor, worker-slot counter, WaitGroup) lives inside the reusable
-//     Runner. A kernel that owns a Runner parallelises without allocating.
-//
-//   - Size awareness. Below the grain size a call collapses to a direct
-//     inline invocation — tiny inputs pay zero synchronisation overhead, and
-//     GrainFor derives grains from per-item work so callers state intent
-//     ("about 64k flops per chunk") instead of magic constants.
-//
-// One region runs at a time: a global guard makes nested or concurrent
-// regions execute inline on their caller's goroutine instead of deadlocking
-// or oversubscribing the pool. Coarse parallelism therefore wins
-// automatically — when the experiment suite fans out whole simulation runs
-// via Do, the kernels inside them run serially.
-//
-// The process-wide parallelism knob is SetWorkers (surfaced publicly as
-// guanyu.SetParallelism / guanyu.WithParallelism and the -parallel flag on
-// the commands). SetWorkers(1) restores fully serial execution; by
-// construction it produces bit-identical results to any other setting.
 package parallel
 
 import (

@@ -12,19 +12,32 @@ import (
 // frame:
 //
 //	offset  size       field
-//	0       1          kind (uint8)
+//	0       1          kind (uint8; bit 7 = chunk flag)
 //	1       8          step (int64, little-endian two's complement)
 //	9       2          from-len (uint16, little-endian)
 //	11      4          vec-len (uint32, little-endian, in coordinates)
 //	15      from-len   sender ID (raw bytes)
 //	15+f    8·vec-len  payload (float64 coordinates, little-endian bits)
 //
+// When bit 7 of the kind byte is set, the frame is a CHUNK frame carrying
+// one coordinate shard of a larger vector, and an 8-byte shard extension is
+// inserted between the fixed header and the sender ID:
+//
+//	offset  size       field (chunk frames only)
+//	15      2          shard-index (uint16, little-endian)
+//	17      2          shard-count (uint16, little-endian, ≥ 1)
+//	19      4          shard-offset (uint32, little-endian, in coordinates)
+//	23      from-len   sender ID (raw bytes)
+//	23+f    8·vec-len  payload (the shard's coordinates)
+//
 // The fixed header carries both variable lengths, so a reader knows the
-// exact frame extent after 15 bytes — no varints, no reflection, no type
-// descriptors. Coordinates are raw IEEE-754 bit patterns: NaN payloads and
-// signed zeros survive bit-identically (a Byzantine sender controls every
-// bit it ships, and the inbound validator — not the codec — decides what is
-// acceptable).
+// exact frame extent after 15 bytes (23 for chunk frames) — no varints, no
+// reflection, no type descriptors. Coordinates are raw IEEE-754 bit
+// patterns: NaN payloads and signed zeros survive bit-identically (a
+// Byzantine sender controls every bit it ships, and the inbound validator —
+// not the codec — decides what is acceptable). WIRE.md is the normative
+// byte-level specification of all three frame types and the hello
+// handshake.
 //
 // # Buffer ownership contract
 //
@@ -50,12 +63,20 @@ import (
 const (
 	// FrameHeaderSize is the fixed frame header length in bytes.
 	FrameHeaderSize = 15
+	// ShardHeaderSize is the length of the shard extension chunk frames
+	// carry after the fixed header.
+	ShardHeaderSize = 8
 	// MaxFromLen bounds the sender-ID length a frame may declare.
 	MaxFromLen = 255
 	// MaxVecLen bounds the coordinate count a frame may declare (512 MiB of
 	// payload) — far above the paper's 1,756,426-parameter model, far below
 	// an allocation that could take a receiver down.
 	MaxVecLen = 1 << 26
+	// MaxShardCount bounds the shard count a chunk frame may declare (the
+	// largest value its uint16 wire field holds).
+	MaxShardCount = 1<<16 - 1
+	// chunkFlag is bit 7 of the kind byte: set on chunk frames.
+	chunkFlag = 0x80
 )
 
 // ErrShortFrame reports a frame shorter than its header declares.
@@ -63,13 +84,35 @@ var ErrShortFrame = fmt.Errorf("transport: short frame")
 
 // EncodedSize returns the exact frame length AppendMessage would produce.
 func EncodedSize(m *Message) int {
-	return FrameHeaderSize + len(m.From) + 8*len(m.Vec)
+	n := FrameHeaderSize + len(m.From) + 8*len(m.Vec)
+	if m.IsShard() {
+		n += ShardHeaderSize
+	}
+	return n
+}
+
+// checkShardMeta validates the shard extension fields against their wire
+// widths and internal consistency. Used symmetrically by the encoder (so no
+// frame is emitted that a receiver would reject) and the decoder.
+func checkShardMeta(index, count, offset, vecLen int) error {
+	if count < 1 || count > MaxShardCount {
+		return fmt.Errorf("transport: shard count %d outside [1, %d]", count, MaxShardCount)
+	}
+	if index < 0 || index >= count {
+		return fmt.Errorf("transport: shard index %d outside [0, %d)", index, count)
+	}
+	if offset < 0 || offset > MaxVecLen-vecLen {
+		return fmt.Errorf("transport: shard [%d, %d) exceeds the %d-coordinate limit",
+			offset, offset+vecLen, MaxVecLen)
+	}
+	return nil
 }
 
 // AppendMessage appends m's wire frame to buf and returns the extended
 // slice (append semantics: the result may alias buf's array or a grown
-// one). It errors on messages that violate the frame limits rather than
-// emit a frame no receiver would accept.
+// one). Messages with Shard.Count > 0 are framed as chunk frames. It errors
+// on messages that violate the frame limits rather than emit a frame no
+// receiver would accept.
 func AppendMessage(buf []byte, m *Message) ([]byte, error) {
 	if len(m.From) > MaxFromLen {
 		return buf, fmt.Errorf("transport: sender ID %d bytes exceeds limit %d", len(m.From), MaxFromLen)
@@ -77,12 +120,28 @@ func AppendMessage(buf []byte, m *Message) ([]byte, error) {
 	if len(m.Vec) > MaxVecLen {
 		return buf, fmt.Errorf("transport: payload %d coordinates exceeds limit %d", len(m.Vec), MaxVecLen)
 	}
-	var hdr [FrameHeaderSize]byte
+	if m.Kind&chunkFlag != 0 {
+		// Bit 7 of the kind byte discriminates the frame type on the wire;
+		// a kind carrying it would make the frame ambiguous.
+		return buf, fmt.Errorf("transport: kind %d collides with the chunk flag", m.Kind)
+	}
+	var hdr [FrameHeaderSize + ShardHeaderSize]byte
 	hdr[0] = byte(m.Kind)
 	binary.LittleEndian.PutUint64(hdr[1:], uint64(int64(m.Step)))
 	binary.LittleEndian.PutUint16(hdr[9:], uint16(len(m.From)))
 	binary.LittleEndian.PutUint32(hdr[11:], uint32(len(m.Vec)))
-	buf = append(buf, hdr[:]...)
+	hdrLen := FrameHeaderSize
+	if m.IsShard() {
+		if err := checkShardMeta(m.Shard.Index, m.Shard.Count, m.Shard.Offset, len(m.Vec)); err != nil {
+			return buf, err
+		}
+		hdr[0] |= chunkFlag
+		binary.LittleEndian.PutUint16(hdr[15:], uint16(m.Shard.Index))
+		binary.LittleEndian.PutUint16(hdr[17:], uint16(m.Shard.Count))
+		binary.LittleEndian.PutUint32(hdr[19:], uint32(m.Shard.Offset))
+		hdrLen += ShardHeaderSize
+	}
+	buf = append(buf, hdr[:hdrLen]...)
 	buf = append(buf, m.From...)
 	// Reserve the payload region, then fill it with direct little-endian
 	// stores — the loop compiles to one 8-byte move per coordinate, which
@@ -146,6 +205,20 @@ func decodeInto(m *Message, kind Kind, step int, body []byte, fromLen, vecLen in
 	}
 }
 
+// shardExtent parses and validates the 8-byte shard extension of a chunk
+// frame against the payload length the fixed header declared.
+func shardExtent(ext []byte, vecLen int) (ShardMeta, error) {
+	s := ShardMeta{
+		Index:  int(binary.LittleEndian.Uint16(ext[0:])),
+		Count:  int(binary.LittleEndian.Uint16(ext[2:])),
+		Offset: int(binary.LittleEndian.Uint32(ext[4:])),
+	}
+	if err := checkShardMeta(s.Index, s.Count, s.Offset, vecLen); err != nil {
+		return ShardMeta{}, err
+	}
+	return s, nil
+}
+
 // DecodeMessage parses one frame from the front of data into m and returns
 // the number of bytes consumed. data is never retained. Errors: ErrShortFrame
 // when data ends before the declared extent, a limit error when the header
@@ -158,11 +231,23 @@ func DecodeMessage(data []byte, m *Message) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	total := FrameHeaderSize + fromLen + 8*vecLen
+	hdrLen := FrameHeaderSize
+	var shard ShardMeta
+	if data[0]&chunkFlag != 0 {
+		if len(data) < FrameHeaderSize+ShardHeaderSize {
+			return 0, ErrShortFrame
+		}
+		if shard, err = shardExtent(data[FrameHeaderSize:], vecLen); err != nil {
+			return 0, err
+		}
+		hdrLen += ShardHeaderSize
+	}
+	total := hdrLen + fromLen + 8*vecLen
 	if len(data) < total {
 		return 0, ErrShortFrame
 	}
-	decodeInto(m, Kind(data[0]), step, data[FrameHeaderSize:total], fromLen, vecLen)
+	decodeInto(m, Kind(data[0]&^chunkFlag), step, data[hdrLen:total], fromLen, vecLen)
+	m.Shard = shard
 	return total, nil
 }
 
@@ -196,6 +281,16 @@ func ReadMessage(r io.Reader, scratch *[]byte, m *Message) error {
 	if err != nil {
 		return err
 	}
+	var shard ShardMeta
+	if hdr[0]&chunkFlag != 0 {
+		var ext [ShardHeaderSize]byte
+		if err := readFull(r, ext[:]); err != nil {
+			return err
+		}
+		if shard, err = shardExtent(ext[:], vecLen); err != nil {
+			return err
+		}
+	}
 	chunk := fromLen + 8*vecLen
 	if chunk > readChunkBytes {
 		chunk = readChunkBytes
@@ -211,8 +306,9 @@ func ReadMessage(r io.Reader, scratch *[]byte, m *Message) error {
 	if from := buf[:fromLen]; string(from) != m.From {
 		m.From = string(from)
 	}
-	m.Kind = Kind(hdr[0])
+	m.Kind = Kind(hdr[0] &^ chunkFlag)
 	m.Step = step
+	m.Shard = shard
 
 	// Payload memory is committed only after body bytes actually land:
 	// reuse the caller's capacity if it suffices (ownership contract),

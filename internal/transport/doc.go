@@ -1,0 +1,54 @@
+// Package transport provides the communication substrate of the system:
+//
+//   - Message, the single wire format exchanged by all nodes — a whole
+//     parameter/gradient vector, or (tagged by ShardMeta) one coordinate
+//     shard of one when the deployment streams in chunks;
+//   - ChanNetwork, an in-process asynchronous network with unbounded
+//     mailboxes and optional injected delays (used by the live cluster
+//     runtime and the integration tests);
+//   - TCPNode, a real TCP transport speaking the hand-rolled binary frame
+//     codec of codec.go — fixed {kind, step, from-len, vec-len} header (plus
+//     an 8-byte shard extension on chunk frames) and little-endian float64
+//     payloads over hello-authenticated connections (the repository's
+//     stand-in for the paper's gRPC/protobuf stack, minus the reflection);
+//     WIRE.md is the normative byte-level specification;
+//   - Collector, the "first q messages for step t, in arrival order, late
+//     ones discarded" quorum-gathering primitive at the heart of GuanYu's
+//     bulk-synchronous rounds over an asynchronous network; inbound chunk
+//     streams are reassembled per sender before they can count;
+//   - ShardCollector, the incremental counterpart: per-(step, shard)
+//     arrival-order quorums handed to a streaming aggregation the moment
+//     each shard fills, cutting peak collector memory from O(n·d) to
+//     O(q·shard) and overlapping aggregation with the network receive
+//     (the aggregation side holds that bound for coordinate-wise rules;
+//     see gar.StreamingRule for Multi-Krum's retention floor);
+//   - FaultInjector, seeded fault schedules (drops, duplication, reorder
+//     holds, delay spikes, step-windowed partitions) derived from pure
+//     (seed, step, sender, receiver, shard) hashes, with one schedule shared
+//     by the simulator's arrival-time face and the live runtimes' Endpoint
+//     wrapper;
+//   - LatencyModel, a seeded heavy-tailed latency sampler that drives both
+//     delay injection in the live runtime and the virtual clock of the
+//     deterministic experiment simulator.
+//
+// # Contract and invariants
+//
+// Arrival order is literal: which messages (and which shards) enter a
+// quorum, and in what order, is decided by receipt time alone — never map
+// iteration, never sender name. Per-sender deduplication is a safety
+// requirement (a Byzantine node must not fill a quorum with copies of
+// itself), and the TCP hello binding is what makes From a node identity
+// rather than a free string.
+//
+// Every Endpoint delivers snapshots: a message handed to Send is immutable
+// from the sender's perspective afterwards (TCP snapshots by serialising,
+// ChanNetwork by cloning), so node loops reuse one vector across
+// broadcasts. Decoded messages alias nothing.
+//
+// Receivers are hardened against resource-exhaustion from the header alone
+// (bounded declared lengths, traffic-paced allocation), against
+// step-spraying (the collectors' future-step Horizon), and against
+// malformed shard streams (layout checks, tiling checks, assembly caps);
+// the ForgedDropped / DroppedFuture / DroppedMalformed counters expose
+// what the hardening discarded. See WIRE.md §6 for the full statement.
+package transport

@@ -128,11 +128,21 @@ type decision struct {
 	delay   float64 // seconds, 0 = none
 }
 
-// decide derives the message's fate from (seed, step, from, to). One
-// xoshiro generator is seeded from the tuple hash and consumed in a fixed
-// draw order, so every face of the injector sees the same schedule.
-func (f *FaultInjector) decide(step int, from, to string) decision {
-	h := faultMix(f.cfg.Seed, uint64(step)+0x9e37, faultHash(from)^faultMix(0x85eb, faultHash(to), 0))
+// decide derives the message's fate from (seed, step, from, to, shard). One
+// generator is seeded from the tuple hash and consumed in a fixed draw
+// order, so every face of the injector sees the same schedule. Chunk
+// frames salt the hash with their shard index: each shard of a streamed
+// vector is dropped, duplicated, reordered or delayed independently — a
+// strictly richer fault surface than whole-vector injection, which the
+// reassembly and incremental-quorum paths must absorb. Whole-vector
+// messages use salt 0, so their schedule is unchanged by the existence of
+// sharding.
+func (f *FaultInjector) decide(step int, from, to string, shard ShardMeta) decision {
+	salt := uint64(0)
+	if shard.Count > 0 {
+		salt = uint64(shard.Index) + 1
+	}
+	h := faultMix(f.cfg.Seed, uint64(step)+0x9e37, faultHash(from)^faultMix(0x85eb, faultHash(to), salt))
 	rng := newFaultRNG(h)
 	var d decision
 	d.drop = rng.uniform() < f.cfg.Drop
@@ -173,7 +183,9 @@ func (f *FaultInjector) Arrival(step int, from, to string, arrival float64) floa
 	if f.Partitioned(step, from, to) {
 		return math.Inf(1)
 	}
-	d := f.decide(step, from, to)
+	// The simulator models whole vectors only, so its schedule is the
+	// salt-0 one.
+	d := f.decide(step, from, to, ShardMeta{})
 	if d.drop {
 		return math.Inf(1)
 	}
@@ -219,7 +231,7 @@ func (e *faultEndpoint) Send(to string, m Message) error {
 		e.flushHeld(to) // the held message predates the cut; release it
 		return nil
 	}
-	d := e.inj.decide(m.Step, e.inner.ID(), to)
+	d := e.inj.decide(m.Step, e.inner.ID(), to, m.Shard)
 	if d.drop {
 		return nil
 	}

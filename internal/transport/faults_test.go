@@ -15,7 +15,7 @@ func TestFaultDecisionsAreDeterministic(t *testing.T) {
 		if got, want := a.Arrival(step, "ps0", "wrk1", 1.0), b.Arrival(step, "ps0", "wrk1", 1.0); got != want {
 			t.Fatalf("step %d: %v vs %v", step, got, want)
 		}
-		if a.decide(step, "ps0", "wrk1") != b.decide(step, "ps0", "wrk1") {
+		if a.decide(step, "ps0", "wrk1", ShardMeta{}) != b.decide(step, "ps0", "wrk1", ShardMeta{}) {
 			t.Fatalf("step %d: decisions differ", step)
 		}
 	}
@@ -24,7 +24,7 @@ func TestFaultDecisionsAreDeterministic(t *testing.T) {
 		Reorder: 0.3, DelayRate: 0.5, DelaySpike: 0.01})
 	same := true
 	for step := 0; step < 50 && same; step++ {
-		same = a.decide(step, "ps0", "wrk1") == c.decide(step, "ps0", "wrk1")
+		same = a.decide(step, "ps0", "wrk1", ShardMeta{}) == c.decide(step, "ps0", "wrk1", ShardMeta{})
 	}
 	if same {
 		t.Fatal("seed change did not alter the fault schedule")

@@ -34,6 +34,19 @@ func FuzzDecodeMessage(f *testing.F) {
 	huge := mustEncode(f, Message{From: "byz", Kind: KindGradient, Step: 1})
 	huge[11], huge[12], huge[13], huge[14] = 0xff, 0xff, 0xff, 0xff
 	f.Add(huge)
+	// Chunk frames: a middle shard, a degenerate single-shard stream, and a
+	// forged extension whose index exceeds its count (decoder must reject).
+	f.Add(mustEncode(f, Message{From: "wrk2", Kind: KindGradient, Step: 5,
+		Vec:   []float64{1, 2, 3},
+		Shard: ShardMeta{Index: 2, Count: 9, Offset: 6}}))
+	f.Add(mustEncode(f, Message{From: "ps1", Kind: KindPeerParams, Step: 0,
+		Vec:   []float64{math.Inf(-1)},
+		Shard: ShardMeta{Index: 0, Count: 1, Offset: 0}}))
+	forged := mustEncode(f, Message{From: "byz", Kind: KindParams, Step: 2,
+		Vec:   []float64{4},
+		Shard: ShardMeta{Index: 0, Count: 2, Offset: 0}})
+	forged[15] = 0x07 // index 7 of count 2
+	f.Add(forged)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var m Message
@@ -60,7 +73,7 @@ func FuzzDecodeMessage(f *testing.F) {
 			t.Fatalf("stream decode of a valid frame failed: %v", err)
 		}
 		if viaStream.From != m.From || viaStream.Kind != m.Kind || viaStream.Step != m.Step ||
-			len(viaStream.Vec) != len(m.Vec) {
+			viaStream.Shard != m.Shard || len(viaStream.Vec) != len(m.Vec) {
 			t.Fatalf("stream decode disagrees: %+v vs %+v", viaStream, m)
 		}
 		for i := range m.Vec {

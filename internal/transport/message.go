@@ -1,20 +1,3 @@
-// Package transport provides the communication substrate of the system:
-//
-//   - Message, the single wire format exchanged by all nodes;
-//   - ChanNetwork, an in-process asynchronous network with unbounded
-//     mailboxes and optional injected delays (used by the live cluster
-//     runtime and the integration tests);
-//   - TCPNode, a real TCP transport speaking the hand-rolled binary frame
-//     codec of codec.go — fixed {kind, step, from-len, vec-len} header plus
-//     little-endian float64 payload over hello-authenticated connections
-//     (the repository's stand-in for the paper's gRPC/protobuf stack, minus
-//     the reflection);
-//   - Collector, the "first q messages for step t, in arrival order, late
-//     ones discarded" quorum-gathering primitive at the heart of GuanYu's
-//     bulk-synchronous rounds over an asynchronous network;
-//   - LatencyModel, a seeded heavy-tailed latency sampler that drives both
-//     delay injection in the live runtime and the virtual clock of the
-//     deterministic experiment simulator.
 package transport
 
 import "repro/internal/tensor"
@@ -56,10 +39,29 @@ func (k Kind) String() string {
 	}
 }
 
+// ShardMeta tags a message as one coordinate shard of a larger vector. The
+// zero value (Count == 0) marks a whole-vector message — the only form the
+// protocol shipped before chunked streaming, and still the form used when
+// the configured shard size covers the full dimension. A shard message's
+// Vec holds coordinates [Offset, Offset+len(Vec)) of the logical vector;
+// shard boundaries are derived from (dimension, shard size) alone (see
+// ShardLayout), never negotiated, so every honest receiver can check a
+// frame's claimed extent against its own deployment dimension.
+type ShardMeta struct {
+	// Index is this shard's position in [0, Count).
+	Index int `json:"index"`
+	// Count is the total number of shards of the logical vector.
+	Count int `json:"count"`
+	// Offset is the coordinate offset of this shard's first element.
+	Offset int `json:"offset"`
+}
+
 // Message is the single unit of communication. Every phase of the protocol
 // ships one vector tagged with its sender, step and kind; the tag is what
 // lets receivers run bulk-synchronous training over an asynchronous network
-// (late messages are identified and discarded, future ones buffered).
+// (late messages are identified and discarded, future ones buffered). A
+// message may carry the whole vector or — when the sender streams in
+// coordinate shards — one shard of it, discriminated by Shard.Count.
 type Message struct {
 	// From is the sender's node ID.
 	From string `json:"from"`
@@ -67,9 +69,17 @@ type Message struct {
 	Kind Kind `json:"kind"`
 	// Step is the learning step t the payload belongs to.
 	Step int `json:"step"`
-	// Vec is the payload (a parameter vector or a gradient).
+	// Vec is the payload (a parameter vector or a gradient, whole or one
+	// shard of it per Shard).
 	Vec tensor.Vector `json:"vec"`
+	// Shard is the chunk-streaming tag; the zero value means Vec is the
+	// whole vector.
+	Shard ShardMeta `json:"shard,omitzero"`
 }
+
+// IsShard reports whether m carries one coordinate shard rather than a
+// whole vector.
+func (m *Message) IsShard() bool { return m.Shard.Count > 0 }
 
 // Clone returns a copy of m whose payload aliases nothing — the snapshot
 // every transport must take when it holds a message past its Send boundary

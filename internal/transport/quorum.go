@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/tensor"
 )
 
 // Collector implements the quorum-gathering discipline of the protocol
@@ -32,7 +34,10 @@ type Collector struct {
 	// steps t+1..t+10⁹ would grow the buffer without limit.
 	Horizon int
 
-	droppedFuture int // messages discarded beyond the horizon
+	droppedFuture    int // messages discarded beyond the horizon
+	droppedMalformed int // chunk frames discarded for inconsistent shard tags
+	curBytes         int // payload bytes currently buffered
+	peakBytes        int // high-water mark of curBytes
 }
 
 // DefaultHorizon is the future-step buffering bound when Horizon is unset —
@@ -47,10 +52,21 @@ type collectorKey struct {
 
 // arrivalBuf holds one (kind, step)'s quorum candidates exactly as they
 // arrived: msgs is receipt-ordered with at most one entry per sender, seen
-// is the dedup set behind it.
+// is the dedup set behind it, and asm holds per-sender partial chunk
+// reassemblies (a sender streaming shards counts as "arrived" only when
+// its last shard lands and the whole vector checks out).
 type arrivalBuf struct {
 	msgs []Message
 	seen map[string]struct{}
+	asm  map[string]*assembly
+}
+
+// assembly is one sender's in-flight chunked vector: parts by shard index,
+// joined once all are present and their offsets tile a contiguous range.
+type assembly struct {
+	parts []Message
+	got   int
+	bytes int
 }
 
 // NewCollector wraps an endpoint.
@@ -110,6 +126,7 @@ func (c *Collector) Collect(kind Kind, step, q int, timeout time.Duration) ([]Me
 	copy(out, c.buf[key].msgs[:q])
 	// The round is decided; drop the remainder for this key (late messages
 	// for an already-completed quorum are discarded per the protocol).
+	c.releaseKey(c.buf[key])
 	delete(c.buf, key)
 	return out, nil
 }
@@ -118,15 +135,36 @@ func (c *Collector) Collect(kind Kind, step, q int, timeout time.Duration) ([]Me
 // any kind. Nodes call it when entering a new step so stale traffic cannot
 // accumulate without bound.
 func (c *Collector) Advance(step int) {
-	for key := range c.buf {
+	for key, b := range c.buf {
 		if key.step < step {
+			c.releaseKey(b)
 			delete(c.buf, key)
 		}
 	}
 }
 
+func (c *Collector) account(delta int) {
+	c.curBytes += delta
+	if c.curBytes > c.peakBytes {
+		c.peakBytes = c.curBytes
+	}
+}
+
+// releaseKey returns every payload byte buffered under b to the accounting.
+func (c *Collector) releaseKey(b *arrivalBuf) {
+	for _, m := range b.msgs {
+		c.account(-8 * len(m.Vec))
+	}
+	for _, a := range b.asm {
+		c.account(-a.bytes)
+	}
+}
+
 // store buffers m unless it is stale relative to the step being collected
-// or beyond the future-step horizon.
+// or beyond the future-step horizon. Chunk messages are reassembled per
+// sender first; a sender "arrives" when its last shard lands and the whole
+// vector checks out, so the quorum discipline downstream never sees
+// partial vectors.
 func (c *Collector) store(m Message, currentStep int) {
 	if !m.Kind.Valid() {
 		return // junk kind: never collected, so never buffer it
@@ -138,9 +176,6 @@ func (c *Collector) store(m Message, currentStep int) {
 		c.droppedFuture++ // step-spraying sender: bound the buffer, count the drop
 		return
 	}
-	if c.Validator != nil && !c.Validator(m) {
-		return // malformed payload: treat the sender as silent this round
-	}
 	key := collectorKey{kind: m.Kind, step: m.Step}
 	b, ok := c.buf[key]
 	if !ok {
@@ -148,10 +183,77 @@ func (c *Collector) store(m Message, currentStep int) {
 		c.buf[key] = b
 	}
 	if _, dup := b.seen[m.From]; dup {
-		return // only the first message per sender counts toward the quorum
+		return // only the first (complete) message per sender counts
+	}
+	if m.IsShard() {
+		whole, done := c.assemble(b, m)
+		if !done {
+			return // still streaming; nothing arrives until the vector is whole
+		}
+		m = whole
+	}
+	if c.Validator != nil && !c.Validator(m) {
+		return // malformed payload: treat the sender as silent this round
 	}
 	b.seen[m.From] = struct{}{}
 	b.msgs = append(b.msgs, m)
+	c.account(8 * len(m.Vec))
+}
+
+// assemble folds one chunk frame into its sender's partial vector and
+// returns the reassembled whole message once every shard is present and
+// the shards tile a contiguous coordinate range. Inconsistent streams
+// (changed shard count, non-tiling offsets, oversized totals) drop the
+// whole assembly: a sender that cannot keep its own framing straight is
+// treated as silent for the round.
+func (c *Collector) assemble(b *arrivalBuf, m Message) (Message, bool) {
+	if b.asm == nil {
+		b.asm = make(map[string]*assembly)
+	}
+	a := b.asm[m.From]
+	if a == nil {
+		a = &assembly{parts: make([]Message, m.Shard.Count)}
+		b.asm[m.From] = a
+	}
+	drop := func() {
+		c.droppedMalformed++
+		c.account(-a.bytes)
+		delete(b.asm, m.From)
+	}
+	if len(a.parts) != m.Shard.Count {
+		drop()
+		return Message{}, false
+	}
+	if a.parts[m.Shard.Index].Kind != 0 {
+		return Message{}, false // duplicate shard (network dup or replay): ignore
+	}
+	a.parts[m.Shard.Index] = m
+	a.got++
+	a.bytes += 8 * len(m.Vec)
+	c.account(8 * len(m.Vec))
+	if a.bytes > 8*MaxVecLen {
+		drop() // no whole vector may exceed MaxVecLen; stop paying for one
+		return Message{}, false
+	}
+	if a.got < len(a.parts) {
+		return Message{}, false
+	}
+	// Complete: shards must tile [0, total) in index order.
+	total := 0
+	for _, p := range a.parts {
+		if p.Shard.Offset != total {
+			drop()
+			return Message{}, false
+		}
+		total += len(p.Vec)
+	}
+	vec := make(tensor.Vector, total)
+	for _, p := range a.parts {
+		copy(vec[p.Shard.Offset:], p.Vec)
+	}
+	c.account(-a.bytes)
+	delete(b.asm, m.From)
+	return Message{From: m.From, Kind: m.Kind, Step: m.Step, Vec: vec}, true
 }
 
 // Buffered returns how many distinct senders are buffered for (kind, step).
@@ -167,3 +269,14 @@ func (c *Collector) Buffered(kind Kind, step int) int {
 // DroppedFuture returns how many messages were discarded for claiming a
 // step beyond the buffering horizon. Exposed for tests and monitoring.
 func (c *Collector) DroppedFuture() int { return c.droppedFuture }
+
+// DroppedMalformed returns how many chunk frames were discarded for
+// inconsistent shard tags (changed counts, non-tiling offsets, oversized
+// assemblies). Exposed for tests and monitoring.
+func (c *Collector) DroppedMalformed() int { return c.droppedMalformed }
+
+// PeakBytes returns the largest number of payload bytes the collector has
+// buffered at once — whole messages awaiting their quorum plus partial
+// chunk reassemblies. The memory experiment compares this O(n·d) ceiling
+// against the ShardCollector's O(q·shard).
+func (c *Collector) PeakBytes() int { return c.peakBytes }
