@@ -30,6 +30,7 @@ import (
 	pgar "repro/guanyu/gar"
 
 	"repro/internal/attack"
+	"repro/internal/compress"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 	"repro/internal/transport"
@@ -491,6 +492,97 @@ func BenchmarkWireDecodeSharded1756426(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Compressed-wire benchmarks: each compression scheme on the paper-scale
+// payload, measured as the full hot path a live connection runs — payload
+// codec plus frame codec. b.SetBytes is the LOGICAL raw volume (8 bytes ×
+// 1,756,426 coordinates per vector), so the reported MB/s is raw-equivalent
+// throughput and compares directly against the uncompressed Binary pair
+// above; the wire-byte reduction itself is pinned by BENCH_wire.json.
+// ---------------------------------------------------------------------------
+
+// benchWireCompressEncode measures encode: payload compression into a
+// reused buffer, then binary framing into a reused frame.
+func benchWireCompressEncode(b *testing.B, spec string) {
+	b.Helper()
+	m := wireBenchMessage()
+	cfg, err := compress.ParseSpec(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := compress.NewEncoder(cfg)
+	var payload, frame []byte
+	b.SetBytes(int64(8 * len(m.Vec)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload, err = enc.Encode(payload[:0], uint8(m.Kind), int64(i), 0, m.Vec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cm := transport.Message{From: m.From, Kind: m.Kind, Step: i,
+			Comp: transport.CompMeta{Scheme: uint8(cfg.Scheme), Dim: len(m.Vec), Data: payload}}
+		if frame, err = transport.AppendMessage(frame[:0], &cm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = frame
+}
+
+// benchWireCompressDecode measures decode: binary frame parse, then payload
+// expansion into a reused vector. Delta replays a keyframe+diff pair per
+// iteration so the stateful diff path is the steady state measured, not
+// the keyframe special case (SetBytes scales accordingly).
+func benchWireCompressDecode(b *testing.B, spec string) {
+	b.Helper()
+	m := wireBenchMessage()
+	cfg, err := compress.ParseSpec(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := compress.NewEncoder(cfg)
+	steps := 1
+	if cfg.Scheme == compress.Delta {
+		steps = 2
+	}
+	var frames [][]byte
+	for s := 0; s < steps; s++ {
+		payload, err := enc.Encode(nil, uint8(m.Kind), int64(s), 0, m.Vec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cm := transport.Message{From: m.From, Kind: m.Kind, Step: s,
+			Comp: transport.CompMeta{Scheme: uint8(cfg.Scheme), Dim: len(m.Vec), Data: payload}}
+		frame, err := transport.AppendMessage(nil, &cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames = append(frames, frame)
+	}
+	dec := compress.NewDecoder()
+	var out transport.Message
+	b.SetBytes(int64(8 * len(m.Vec) * steps))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, frame := range frames {
+			if _, err := transport.DecodeMessage(frame, &out); err != nil {
+				b.Fatal(err)
+			}
+			if err := transport.DecompressMessage(dec, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkWireEncodeFloat321756426(b *testing.B) { benchWireCompressEncode(b, "float32") }
+func BenchmarkWireDecodeFloat321756426(b *testing.B) { benchWireCompressDecode(b, "float32") }
+func BenchmarkWireEncodeDelta1756426(b *testing.B)   { benchWireCompressEncode(b, "delta") }
+func BenchmarkWireDecodeDelta1756426(b *testing.B)   { benchWireCompressDecode(b, "delta") }
+func BenchmarkWireEncodeTopK1756426(b *testing.B)    { benchWireCompressEncode(b, "topk:k=0.01") }
+func BenchmarkWireDecodeTopK1756426(b *testing.B)    { benchWireCompressDecode(b, "topk:k=0.01") }
 
 // wireQuorumFeed builds the shared feed of the quorum benchmarks: n
 // paper-scale vectors.

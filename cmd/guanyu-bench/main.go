@@ -46,6 +46,9 @@ func run(args []string, out io.Writer) error {
 		faults   = fs.String("faults", "", "scenario matrix only: comma-separated fault profile specs")
 		parallel = fs.Int("parallel", 0, "worker count for kernels and concurrent curves (0 = all CPUs, 1 = serial; results are identical at any setting)")
 		shard    = fs.Int("shard", 0, "memory experiment only: shard size in coordinates (0 = per-dimension default)")
+		compAxis = fs.String("compress", "", "scenario matrix only: comma-separated compression specs (none | float32 | delta[:key=N] | topk:k=F)")
+		wireJSON = fs.String("wire-json", "", "write the bandwidth experiment's wire rows to this file (commit as BENCH_wire.json) and exit")
+		wireChk  = fs.String("wire-check", "", "re-measure the bandwidth wire rows and compare byte counts against this committed BENCH_wire.json, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,9 +69,38 @@ func run(args []string, out io.Writer) error {
 	}
 	scale.Seed = *seed
 
+	// The wire-row modes skip the convergence grid: byte counts are exact
+	// and cheap, which is what makes them committable and CI-checkable.
+	if *wireJSON != "" || *wireChk != "" {
+		rows, err := guanyu.WireRows(scale)
+		if err != nil {
+			return err
+		}
+		if *wireJSON != "" {
+			data, err := guanyu.WireBenchJSON(rows)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*wireJSON, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %d wire rows to %s\n", len(rows), *wireJSON)
+			return nil
+		}
+		committed, err := os.ReadFile(*wireChk)
+		if err != nil {
+			return err
+		}
+		if err := guanyu.CheckWireBench(committed, rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d wire rows match %s\n", len(rows), *wireChk)
+		return nil
+	}
+
 	// -smoke and the grid-axis flags change the matrix experiment's spec;
 	// runOne routes "matrix" through it so they apply under -exp all too.
-	customMatrix := *smoke || *attacks != "" || *rules != "" || *faults != ""
+	customMatrix := *smoke || *attacks != "" || *rules != "" || *faults != "" || *compAxis != ""
 	runOne := func(id string) error {
 		if id == "memory" && *shard > 0 {
 			rows, err := guanyu.Memory(scale, *shard)
@@ -91,6 +123,9 @@ func run(args []string, out io.Writer) error {
 			}
 			if *faults != "" {
 				spec.Faults = strings.Split(*faults, ",")
+			}
+			if *compAxis != "" {
+				spec.Compress = strings.Split(*compAxis, ",")
 			}
 			r, err := guanyu.Matrix(scale, spec)
 			if err != nil {

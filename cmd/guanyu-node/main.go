@@ -55,6 +55,7 @@ type nodeConfig struct {
 	ckptPath  string
 	timeout   time.Duration
 	shardSize int
+	compress  string
 }
 
 func parseFlags(args []string) (*nodeConfig, error) {
@@ -78,6 +79,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		timeout  = fs.Duration("timeout", 5*time.Minute, "per-quorum timeout")
 		parallel = fs.Int("parallel", 0, "kernel worker count for this node (0 = all CPUs, 1 = serial; results are identical at any setting)")
 		shard    = fs.Int("shard", 0, "stream vectors as chunk frames of this many coordinates (0 = whole-vector framing; arm every node identically)")
+		comp     = fs.String("compress", "none", "wire compression for THIS node's sends: none | float32 | delta[:key=N] | topk:k=F (negotiated per connection; plain peers drop un-negotiated frames)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -101,7 +103,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		fServers: *fServers, fWorkers: *fWorkers,
 		steps: *steps, batch: *batch, seed: *seed, examples: *examples,
 		byzMode: *byzMode, faultSpec: *faultSpec, ckptPath: *ckpt, timeout: *timeout,
-		shardSize: *shard,
+		shardSize: *shard, compress: *comp,
 	}, nil
 }
 
@@ -171,20 +173,21 @@ func run(args []string, out io.Writer) error {
 	}
 
 	res, err := guanyu.RunNode(context.Background(), guanyu.NodeConfig{
-		Role:      cfg.role,
-		ID:        cfg.id,
-		Listen:    cfg.listen,
-		Peers:     cfg.peers,
-		FServers:  cfg.fServers,
-		FWorkers:  cfg.fWorkers,
-		Steps:     cfg.steps,
-		Batch:     cfg.batch,
-		Examples:  cfg.examples,
-		Seed:      cfg.seed,
-		Attack:    att,
-		Faults:    faults,
-		Timeout:   cfg.timeout,
-		ShardSize: cfg.shardSize,
+		Role:        cfg.role,
+		ID:          cfg.id,
+		Listen:      cfg.listen,
+		Peers:       cfg.peers,
+		FServers:    cfg.fServers,
+		FWorkers:    cfg.fWorkers,
+		Steps:       cfg.steps,
+		Batch:       cfg.batch,
+		Examples:    cfg.examples,
+		Seed:        cfg.seed,
+		Attack:      att,
+		Faults:      faults,
+		Timeout:     cfg.timeout,
+		ShardSize:   cfg.shardSize,
+		Compression: cfg.compress,
 		OnListen: func(addr string) {
 			fmt.Fprintf(out, "%s listening on %s (%d servers, %d workers)\n",
 				cfg.id, addr, len(servers), len(workers))

@@ -49,6 +49,7 @@ func run(args []string, out io.Writer) error {
 		evalEvery = fs.Int("eval-every", 10, "accuracy sampling period")
 		parallel  = fs.Int("parallel", 0, "kernel worker count (0 = all CPUs, 1 = serial; results are identical at any setting)")
 		shard     = fs.Int("shard", 0, "live runtime only: stream vectors as chunk frames of this many coordinates (0 = whole-vector framing; results are identical)")
+		comp      = fs.String("compress", "none", "wire compression for honest traffic: none | float32 | delta[:key=N] | topk:k=F")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +89,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *shard > 0 {
 		opts = append(opts, guanyu.WithShardSize(*shard))
+	}
+	if *comp != "" {
+		opts = append(opts, guanyu.WithCompression(*comp))
 	}
 
 	mk, err := guanyu.AttackByName(*attackName, *seed)

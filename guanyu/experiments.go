@@ -125,6 +125,39 @@ type ThroughputRow = experiments.ThroughputRow
 // the point.
 func Throughput(s ExperimentScale) ([]ThroughputRow, error) { return experiments.Throughput(s) }
 
+// BandwidthRow is one (dimension, scheme) wire-volume measurement: exact
+// steady-state bytes per vector under each compression scheme vs raw
+// framing, plus advisory codec rates.
+type BandwidthRow = experiments.BandwidthRow
+
+// BandwidthCell is one (scheme, rule, attack) convergence outcome under
+// the lossy wire.
+type BandwidthCell = experiments.BandwidthCell
+
+// BandwidthResult holds the bandwidth experiment's wire rows and
+// Fig-4-style convergence grid.
+type BandwidthResult = experiments.BandwidthResult
+
+// Bandwidth measures each compression scheme's wire volume and codec rate
+// at the harness and paper dimensions, then runs the convergence grid.
+// Byte counts are exact and machine-independent; rates are advisory.
+func Bandwidth(s ExperimentScale) (*BandwidthResult, error) { return experiments.Bandwidth(s) }
+
+// WireRows measures only the bandwidth experiment's wire rows (no
+// convergence grid) — the fast path behind guanyu-bench's -wire-json and
+// -wire-check modes.
+func WireRows(s ExperimentScale) ([]BandwidthRow, error) { return experiments.WireRows(s) }
+
+// WireBenchJSON serialises bandwidth wire rows for committing as
+// BENCH_wire.json (byte counts exact, rates advisory).
+func WireBenchJSON(rows []BandwidthRow) ([]byte, error) { return experiments.WireBenchJSON(rows) }
+
+// CheckWireBench verifies freshly measured wire rows against a committed
+// BENCH_wire.json: exact byte counts must match; rates are ignored.
+func CheckWireBench(committed []byte, rows []BandwidthRow) error {
+	return experiments.CheckWireBench(committed, rows)
+}
+
 // MemoryRow is one dimension's whole-vs-sharded collector measurement.
 type MemoryRow = experiments.MemoryRow
 

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/compress"
 	igar "repro/internal/gar"
 	"repro/internal/transport"
 )
@@ -74,13 +75,14 @@ type Deployment struct {
 	alignAfter   int
 	noExchange   bool
 
-	runtime   Runner
-	timeout   time.Duration
-	delay     DelayFunc
-	faults    *transport.FaultInjector
-	suspicion *Suspicion
-	tcp       bool
-	shardSize int
+	runtime     Runner
+	timeout     time.Duration
+	delay       DelayFunc
+	faults      *transport.FaultInjector
+	suspicion   *Suspicion
+	tcp         bool
+	shardSize   int
+	compression compress.Config
 
 	parallelism    int
 	parallelismSet bool

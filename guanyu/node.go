@@ -62,6 +62,14 @@ type NodeConfig struct {
 	// deployment may mix — but arm every node identically to get the
 	// memory and pipelining benefit cluster-wide.
 	ShardSize int
+	// Compression selects this node's outbound wire compression by spec
+	// string: "none" (default), "float32", "delta[:key=N]" or "topk:k=F"
+	// (see WithCompression). Negotiated per connection via the hello
+	// capability mask, so compressing and plain nodes interoperate: a peer
+	// that did not announce a scheme has this node's compressed frames
+	// dropped as un-negotiated, never misdecoded. Composes with ShardSize —
+	// each chunk frame is compressed as its own stream.
+	Compression string
 	// Timeout bounds each quorum wait (default 5 minutes).
 	Timeout time.Duration
 	// LR overrides the learning-rate schedule (servers only; default
@@ -155,11 +163,23 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 		listen = "127.0.0.1:0"
 	}
 
+	comp, err := ParseCompression(cfg.Compression)
+	if err != nil {
+		return nil, err
+	}
+
 	node, err := transport.ListenTCP(cfg.ID, listen, nil)
 	if err != nil {
 		return nil, err
 	}
 	defer node.Close()
+	if comp.Enabled() {
+		// Before AddPeer: the capability mask rides the hello frame, and the
+		// model dimension bounds inbound compressed expansions.
+		if err := node.SetCompression(comp, w.Model.ParamCount()); err != nil {
+			return nil, err
+		}
+	}
 	ep := transport.NewFaultInjector(cfg.Faults).Wrap(node)
 	// Closing the wrapper first flushes reorder-held and delay-spiked
 	// messages before the sockets go away: this process may be the last

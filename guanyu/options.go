@@ -260,6 +260,26 @@ func WithShardSize(n int) Option {
 	}
 }
 
+// WithCompression selects the wire compression scheme for honest traffic by
+// spec string: "none" (default), "float32", "delta" (or "delta:key=N" for
+// the keyframe period), or "topk:k=F" (top-k sparsification keeping fraction
+// F of coordinates, with error-feedback accumulation at the sender). Applies
+// to both runtimes: the Live transports compress real frames (negotiated
+// per connection on TCP), and the simulator round-trips every honest payload
+// through the identical codec so its convergence curves reflect the lossy
+// wire — and its cost model charges the smaller frames. Byzantine traffic is
+// never compressed (the adversary's covert network is ideal by assumption).
+func WithCompression(spec string) Option {
+	return func(d *Deployment) error {
+		cfg, err := ParseCompression(spec)
+		if err != nil {
+			return err
+		}
+		d.compression = cfg
+		return nil
+	}
+}
+
 // WithTimeout bounds each quorum wait in the Live runtime (default 30 s;
 // negative waits forever — the faithful asynchronous setting).
 func WithTimeout(t time.Duration) Option {

@@ -1,9 +1,22 @@
 package guanyu
 
 import (
+	"repro/internal/compress"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
+
+// Compression is a validated wire-compression configuration; build one from
+// a spec string with ParseCompression (schemes: none, float32, delta,
+// delta:key=N, topk:k=F) and install it with WithCompression or
+// NodeConfig.Compression.
+type Compression = compress.Config
+
+// ParseCompression parses a compression spec string ("none", "float32",
+// "delta", "delta:key=8", "topk:k=0.01", ...). The empty string means none.
+func ParseCompression(spec string) (Compression, error) {
+	return compress.ParseSpec(spec)
+}
 
 // Suspicion accumulates per-sender exclusion statistics from selective
 // aggregation rules: repeatedly excluded senders are likely Byzantine. Share

@@ -73,6 +73,7 @@ func (simRunner) Run(ctx context.Context, d *Deployment) (*Result, error) {
 	cfg.DisableServerExchange = d.noExchange
 	cfg.Cost.OptimizedRuntime = d.optimized
 	cfg.Faults = d.faults
+	cfg.Compression = d.compression
 	res, err := core.RunContext(ctx, cfg)
 	if err != nil {
 		return nil, err
@@ -125,6 +126,7 @@ func (liveRunner) Run(ctx context.Context, d *Deployment) (*Result, error) {
 			Seed:          d.seed,
 			Suspicion:     d.suspicion,
 			ShardSize:     d.shardSize,
+			Compression:   d.compression,
 		}
 		var res *cluster.LiveResult
 		res, err = cluster.RunLiveContext(ctx, cfg)
@@ -166,6 +168,18 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 		workerIDs[j] = cluster.WorkerID(j)
 	}
 
+	// Byzantine nodes keep raw framing and a legacy hello: compression is an
+	// honest-traffic concern (the covert network is ideal by assumption),
+	// and an uncompressing peer interoperates by construction.
+	byzantine := make(map[string]bool, len(d.serverAttacks)+len(d.workerAttacks))
+	for i := range d.serverAttacks {
+		byzantine[cluster.ServerID(i)] = true
+	}
+	for j := range d.workerAttacks {
+		byzantine[cluster.WorkerID(j)] = true
+	}
+	dim := d.workload.Model.ParamCount()
+
 	// Start every listener on an ephemeral port, then exchange the address
 	// book — the bootstrap a deployment tool would perform.
 	nodes := make(map[string]*transport.TCPNode, n)
@@ -180,6 +194,13 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 		node, err := transport.ListenTCP(id, "127.0.0.1:0", nil)
 		if err != nil {
 			return nil, nil, fmt.Errorf("guanyu: listen %s: %w", id, err)
+		}
+		if d.compression.Enabled() && !byzantine[id] {
+			// Before AddPeer: the capability mask rides the hello frame.
+			if err := node.SetCompression(d.compression, dim); err != nil {
+				node.Close()
+				return nil, nil, fmt.Errorf("guanyu: compression %s: %w", id, err)
+			}
 		}
 		nodes[id] = node
 		addrs[id] = node.Addr()

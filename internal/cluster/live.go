@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/gar"
 	"repro/internal/nn"
@@ -77,6 +78,15 @@ type LiveConfig struct {
 	// of that many coordinates and aggregates inbound shards incrementally
 	// (see ServerConfig.ShardSize). Zero keeps whole-vector framing.
 	ShardSize int
+	// Compression applies wire payload compression to every honest node's
+	// traffic (float32 truncation, delta frames, or top-k sparsification —
+	// see internal/compress). Honest endpoints are wrapped below the fault
+	// injector, so injected duplication, reordering and delay spikes hit
+	// already-negotiated compressed streams the way a real network would.
+	// Byzantine nodes are exempt, mirroring Faults: the adversary's covert
+	// network is ideal, and compressing its payloads would perturb its
+	// chosen attack vectors. The zero value disables compression.
+	Compression compress.Config
 }
 
 // Validate checks the deployment against the theoretical requirements of the
@@ -175,6 +185,9 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 	if cfg.Steps <= 0 || cfg.Batch <= 0 {
 		return nil, fmt.Errorf("cluster: Steps and Batch must be positive")
 	}
+	if err := cfg.Compression.Validate(); err != nil {
+		return nil, err
+	}
 
 	network := transport.NewChanNetwork(cfg.Delay)
 	defer network.Close()
@@ -190,6 +203,22 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 
 	rng := tensor.NewRNG(cfg.Seed)
 	theta0 := cfg.Model.ParamVector()
+
+	// wrapHonest stacks an honest node's send/receive path: compression
+	// sits next to the wire (per-link codec state, inbound drop counters
+	// bounded by the model dimension), the fault injector above it — so a
+	// delayed or duplicated delivery re-enters an already-encoded stream,
+	// exactly the composition the TCP runtime exhibits.
+	wrapHonest := func(ep transport.Endpoint) (transport.Endpoint, error) {
+		if cfg.Compression.Enabled() {
+			c, err := transport.NewCompressor(ep, cfg.Compression, len(theta0))
+			if err != nil {
+				return nil, err
+			}
+			ep = c
+		}
+		return cfg.Faults.Wrap(ep), nil
+	}
 
 	// Omniscient attacks get one shared view per message class: honest
 	// nodes' vectors are published to it as they are produced, Byzantine
@@ -258,9 +287,13 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 		idx := i
 		sep := ep
 		if scfg.Attack == nil {
-			// Faults hit honest traffic only — the adversary's covert
-			// network is ideal by assumption, exactly as in the simulator.
-			sep = cfg.Faults.Wrap(ep)
+			// Faults and compression hit honest traffic only — the
+			// adversary's covert network is ideal by assumption, exactly as
+			// in the simulator.
+			sep, err = wrapHonest(ep)
+			if err != nil {
+				return nil, err
+			}
 		}
 		wg.Add(1)
 		go func() {
@@ -301,7 +334,10 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 		}
 		wep := ep
 		if wcfg.Attack == nil {
-			wep = cfg.Faults.Wrap(ep)
+			wep, err = wrapHonest(ep)
+			if err != nil {
+				return nil, err
+			}
 		}
 		wg.Add(1)
 		go func() {

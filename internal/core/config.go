@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/attack"
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/gar"
 	"repro/internal/nn"
@@ -186,6 +187,16 @@ type Config struct {
 	// injects nothing.
 	Faults *transport.FaultInjector
 
+	// Compression applies the wire compression schemes to honest traffic:
+	// every honest payload is round-tripped through the internal/compress
+	// codec of its directed link before the receiver sees it, so the
+	// simulator trains on exactly the lossy values a live cluster would,
+	// and message bytes in the latency model shrink accordingly. Byzantine
+	// payloads are exempt, mirroring the fault injector: compressing the
+	// adversary's traffic would perturb its chosen attack vectors and
+	// weaken it. The zero value transmits exact float64 payloads.
+	Compression compress.Config
+
 	// Seed drives every generator in the run.
 	Seed uint64
 }
@@ -222,6 +233,9 @@ func (c *Config) Validate() error {
 		}
 	default:
 		return fmt.Errorf("core: unknown mode %d", c.Mode)
+	}
+	if err := c.Compression.Validate(); err != nil {
+		return err
 	}
 	if len(c.ServerAttacks) >= c.NumServers {
 		return fmt.Errorf("core: every server is Byzantine; nothing to measure")

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/cluster"
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/gar"
 	"repro/internal/nn"
@@ -69,6 +70,44 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		// gradient poisons it (Figure 4's point).
 		validate = cfg.Mode == ModeGuanYu
 	)
+	if cfg.Compression.Enabled() {
+		// Only the payload shrinks; per-frame framing overhead is unchanged.
+		msgBytes = cfg.Compression.PayloadBytes(dim) + transport.VectorBytes(0)
+	}
+
+	// xmit models one honest message crossing the wire under the configured
+	// compression: the payload is round-tripped through the directed link's
+	// encoder/decoder pair, so receivers see exactly the lossy values a live
+	// cluster would (float32 truncation, delta reconstruction, top-k with
+	// error feedback). Stream state lives per directed link for the whole
+	// run, mirroring connection-lifetime codec state on the live transports.
+	// Disabled compression passes vectors through untouched.
+	var links map[string]*simLink
+	if cfg.Compression.Enabled() {
+		links = make(map[string]*simLink)
+	}
+	xmit := func(from, to string, kind transport.Kind, step int, vec tensor.Vector) (tensor.Vector, error) {
+		if links == nil {
+			return vec, nil
+		}
+		key := from + "\x00" + to
+		l := links[key]
+		if l == nil {
+			l = &simLink{enc: compress.NewEncoder(cfg.Compression), dec: compress.NewDecoder()}
+			links[key] = l
+		}
+		var err error
+		l.buf, err = l.enc.Encode(l.buf[:0], uint8(kind), int64(step), 0, vec)
+		if err != nil {
+			return nil, fmt.Errorf("core: compress %s→%s: %w", from, to, err)
+		}
+		out, err := l.dec.Decode(cfg.Compression.Scheme, uint8(kind), int64(step), 0,
+			len(vec), l.buf, make(tensor.Vector, 0, len(vec)))
+		if err != nil {
+			return nil, fmt.Errorf("core: decompress %s→%s: %w", from, to, err)
+		}
+		return out, nil
+	}
 
 	// Honest/Byzantine partitions.
 	honestServers := make([]int, 0, cfg.NumServers)
@@ -170,7 +209,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					arrivals[i] = 0 // adversary's covert network: instant
 					continue
 				}
-				payloads[i] = theta[i]
+				p, err := xmit(cluster.ServerID(i), cluster.WorkerID(j), transport.KindParams, t, theta[i])
+				if err != nil {
+					return nil, err
+				}
+				payloads[i] = p
 				arrivals[i] = cfg.Faults.Arrival(t, cluster.ServerID(i), cluster.WorkerID(j),
 					clockS[i]+ser+
 						cost.Latency.Sample(cluster.ServerID(i), cluster.WorkerID(j), msgBytes)+ser)
@@ -225,7 +268,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					arrivals[j] = 0
 					continue
 				}
-				payloads[j] = grads[j]
+				p, err := xmit(cluster.WorkerID(j), cluster.ServerID(i), transport.KindGradient, t, grads[j])
+				if err != nil {
+					return nil, err
+				}
+				payloads[j] = p
 				arrivals[j] = cfg.Faults.Arrival(t, cluster.WorkerID(j), cluster.ServerID(i),
 					clockW[j]+ser+
 						cost.Latency.Sample(cluster.WorkerID(j), cluster.ServerID(i), msgBytes)+ser)
@@ -285,7 +332,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 						payloads[k] = vec
 						arrivals[k] = 0
 					default:
-						payloads[k] = sentTheta[k]
+						p, err := xmit(cluster.ServerID(k), cluster.ServerID(i), transport.KindPeerParams, t, sentTheta[k])
+						if err != nil {
+							return nil, err
+						}
+						payloads[k] = p
 						arrivals[k] = cfg.Faults.Arrival(t, cluster.ServerID(k), cluster.ServerID(i),
 							sentClock[k]+ser+
 								cost.Latency.Sample(cluster.ServerID(k), cluster.ServerID(i), msgBytes)+ser)
@@ -338,6 +389,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	res.VirtualTime = maxClock(clockS)
 	res.Updates = cfg.Steps
 	return res, nil
+}
+
+// simLink is one directed link's compression codec pair: the engine has no
+// sockets, so the sender's encoder and the receiver's decoder live together,
+// with a reused scratch buffer for the encoded payload between them.
+type simLink struct {
+	enc *compress.Encoder
+	dec *compress.Decoder
+	buf []byte
 }
 
 // evalSubset returns the evaluation examples (a random subset of Test when

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/attack"
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/gar"
 	"repro/internal/parallel"
@@ -30,6 +31,11 @@ type MatrixSpec struct {
 	Rules []string
 	// Faults are the network fault profiles applied to honest traffic.
 	Faults []string
+	// Compress are the wire compression specs applied to honest traffic
+	// ("none", "float32", "delta[:key=N]", "topk:k=F"); empty means
+	// {"none"}. Each spec multiplies the grid: the matrix answers whether a
+	// lossy wire changes which rules survive which adversaries.
+	Compress []string
 	// ByzWorkers is the number of actually-Byzantine workers (and the
 	// declared f̄). Default 5 — the paper's Byzantine worker count.
 	ByzWorkers int
@@ -46,6 +52,10 @@ func DefaultMatrixSpec() MatrixSpec {
 		// bulk-synchronous quorums — its column is the liveness-breakdown
 		// row of the table, not a survivable profile.
 		Faults: []string{"none", "drop:p=0.01", "delay:p=0.2,spike=0.002", "partition:every=25,for=2"},
+		// The exact wire and the most aggressive compression bracket the
+		// grid; the intermediate schemes get their own experiment
+		// (bandwidth).
+		Compress: []string{"none", "topk:k=0.01"},
 	}
 }
 
@@ -53,10 +63,19 @@ func DefaultMatrixSpec() MatrixSpec {
 // fault profile — sized for a CI smoke job.
 func SmokeMatrixSpec() MatrixSpec {
 	return MatrixSpec{
-		Attacks: []string{"alie"},
-		Rules:   []string{"multi-krum"},
-		Faults:  []string{"drop:p=0.02"},
+		Attacks:  []string{"alie"},
+		Rules:    []string{"multi-krum"},
+		Faults:   []string{"drop:p=0.02"},
+		Compress: []string{"none", "topk:k=0.01"},
 	}
+}
+
+// compressAxis is the spec's compression axis, defaulting to the exact wire.
+func (m MatrixSpec) compressAxis() []string {
+	if len(m.Compress) == 0 {
+		return []string{"none"}
+	}
+	return m.Compress
 }
 
 func (m MatrixSpec) byzWorkers() int {
@@ -68,8 +87,8 @@ func (m MatrixSpec) byzWorkers() int {
 
 // MatrixCell is one grid point's outcome.
 type MatrixCell struct {
-	// Attack, Rule and Fault identify the cell.
-	Attack, Rule, Fault string
+	// Attack, Rule, Fault and Compress identify the cell.
+	Attack, Rule, Fault, Compress string
 	// FinalAccuracy is the run's final test accuracy (0 when Failed).
 	FinalAccuracy float64
 	// Failed is empty for a completed run, otherwise the breakdown class:
@@ -83,8 +102,8 @@ type MatrixCell struct {
 type MatrixResult struct {
 	// Spec echoes the grid axes.
 	Spec MatrixSpec
-	// Cells holds one entry per (fault, attack, rule), fault-major in the
-	// spec's order.
+	// Cells holds one entry per (fault, compress, attack, rule),
+	// fault-major in the spec's order.
 	Cells []MatrixCell
 }
 
@@ -105,9 +124,12 @@ func Matrix(s Scale, spec MatrixSpec) (*MatrixResult, error) {
 	}
 	res := &MatrixResult{Spec: spec}
 	for _, fault := range spec.Faults {
-		for _, att := range spec.Attacks {
-			for _, rule := range spec.Rules {
-				res.Cells = append(res.Cells, MatrixCell{Attack: att, Rule: rule, Fault: fault})
+		for _, comp := range spec.compressAxis() {
+			for _, att := range spec.Attacks {
+				for _, rule := range spec.Rules {
+					res.Cells = append(res.Cells, MatrixCell{
+						Attack: att, Rule: rule, Fault: fault, Compress: comp})
+				}
 			}
 		}
 	}
@@ -127,6 +149,11 @@ func Matrix(s Scale, spec MatrixSpec) (*MatrixResult, error) {
 	}
 	for _, fs := range spec.Faults {
 		if _, err := faultFromSpec(fs, s.Seed); err != nil {
+			return nil, fmt.Errorf("matrix: %w", err)
+		}
+	}
+	for _, cs := range spec.compressAxis() {
+		if _, err := compress.ParseSpec(cs); err != nil {
 			return nil, fmt.Errorf("matrix: %w", err)
 		}
 	}
@@ -150,6 +177,7 @@ func runMatrixCell(s Scale, byzWorkers int, cell *MatrixCell) {
 	mkAttack, _ := attack.FromSpec(cell.Attack, s.Seed+500)
 	rule, _ := gar.FromName(cell.Rule, byzWorkers)
 	faults, _ := faultFromSpec(cell.Fault, s.Seed+900)
+	comp, _ := compress.ParseSpec(cell.Compress)
 
 	w := core.BlobWorkload(s.Examples, s.Seed)
 	cfg := core.Config{
@@ -162,9 +190,10 @@ func runMatrixCell(s Scale, byzWorkers int, cell *MatrixCell) {
 		NumServers: core.PaperServers, FServers: 0,
 		NumWorkers: core.PaperWorkers, FWorkers: byzWorkers,
 		Steps: s.Steps, Batch: s.SmallBatch,
-		Rule:   rule,
-		Faults: transport.NewFaultInjector(faults),
-		Seed:   s.Seed,
+		Rule:        rule,
+		Faults:      transport.NewFaultInjector(faults),
+		Compression: comp,
+		Seed:        s.Seed,
 	}
 	cfg = core.WithByzantineWorkers(cfg, byzWorkers, mkAttack)
 
@@ -190,32 +219,35 @@ func faultFromSpec(spec string, seed uint64) (transport.FaultConfig, error) {
 	return transport.FaultByName(name, params, seed)
 }
 
-// Format renders the grid as one attack × rule table per fault profile.
+// Format renders the grid as one attack × rule table per (fault profile,
+// compression scheme) pair.
 func (r *MatrixResult) Format() string {
 	var b strings.Builder
-	b.WriteString("# Scenario matrix: final accuracy by attack × GAR × fault profile\n")
+	b.WriteString("# Scenario matrix: final accuracy by attack × GAR × fault profile × compression\n")
 	fmt.Fprintf(&b, "(%d byz workers of %d; %d servers, all honest; breakdowns: no-quorum = liveness, non-finite = safety)\n",
 		r.Spec.byzWorkers(), core.PaperWorkers, core.PaperServers)
 	idx := 0
 	for _, fault := range r.Spec.Faults {
-		fmt.Fprintf(&b, "\n## faults: %s\n", fault)
-		fmt.Fprintf(&b, "%-22s", "attack")
-		for _, rule := range r.Spec.Rules {
-			fmt.Fprintf(&b, " %-18s", rule)
-		}
-		b.WriteByte('\n')
-		for range r.Spec.Attacks {
-			fmt.Fprintf(&b, "%-22s", r.Cells[idx].Attack)
-			for range r.Spec.Rules {
-				c := r.Cells[idx]
-				if c.Failed != "" {
-					fmt.Fprintf(&b, " %-18s", "break:"+c.Failed)
-				} else {
-					fmt.Fprintf(&b, " %-18.4f", c.FinalAccuracy)
-				}
-				idx++
+		for _, comp := range r.Spec.compressAxis() {
+			fmt.Fprintf(&b, "\n## faults: %s, compress: %s\n", fault, comp)
+			fmt.Fprintf(&b, "%-22s", "attack")
+			for _, rule := range r.Spec.Rules {
+				fmt.Fprintf(&b, " %-18s", rule)
 			}
 			b.WriteByte('\n')
+			for range r.Spec.Attacks {
+				fmt.Fprintf(&b, "%-22s", r.Cells[idx].Attack)
+				for range r.Spec.Rules {
+					c := r.Cells[idx]
+					if c.Failed != "" {
+						fmt.Fprintf(&b, " %-18s", "break:"+c.Failed)
+					} else {
+						fmt.Fprintf(&b, " %-18.4f", c.FinalAccuracy)
+					}
+					idx++
+				}
+				b.WriteByte('\n')
+			}
 		}
 	}
 	return b.String()

@@ -11,7 +11,7 @@ import (
 // and figures first, then the design-choice ablations.
 var ids = []string{"table1", "fig3", "fig4", "table2", "overhead",
 	"contraction", "quorum", "gar", "async", "noniid", "matrix", "throughput",
-	"memory"}
+	"memory", "bandwidth"}
 
 // IDs returns the experiment identifiers in presentation order.
 func IDs() []string {
@@ -98,6 +98,12 @@ func Run(id string, s Scale, out io.Writer) error {
 			return err
 		}
 		fmt.Fprint(out, FormatMemory(rows))
+	case "bandwidth":
+		r, err := Bandwidth(s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Format())
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}

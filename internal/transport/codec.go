@@ -12,7 +12,7 @@ import (
 // frame:
 //
 //	offset  size       field
-//	0       1          kind (uint8; bit 7 = chunk flag)
+//	0       1          kind (uint8; bit 7 = chunk flag, bit 6 = compressed flag)
 //	1       8          step (int64, little-endian two's complement)
 //	9       2          from-len (uint16, little-endian)
 //	11      4          vec-len (uint32, little-endian, in coordinates)
@@ -30,14 +30,31 @@ import (
 //	23      from-len   sender ID (raw bytes)
 //	23+f    8·vec-len  payload (the shard's coordinates)
 //
+// When bit 6 is set, the frame is a COMPRESSED frame: the payload is not
+// raw float64 coordinates but an opaque byte string produced by an
+// internal/compress scheme, expanding to vec-len coordinates. A 5-byte
+// compression extension follows the fixed header (after the shard
+// extension if both flags are set — compression composes with chunk
+// streaming, decided per frame):
+//
+//	offset  size       field (compressed frames, relative to extension start)
+//	+0      1          scheme (uint8, nonzero; see compress.Scheme)
+//	+1      4          enc-len (uint32, little-endian, payload BYTES)
+//	        from-len   sender ID (raw bytes)
+//	        enc-len    payload (scheme-encoded; spec in WIRE.md §9)
+//
+// The codec transports compressed payloads byte-for-byte and stays
+// bijective; expansion is the receiving transport's job (negotiation, then
+// DecompressMessage) because delta streams carry per-connection state.
+//
 // The fixed header carries both variable lengths, so a reader knows the
-// exact frame extent after 15 bytes (23 for chunk frames) — no varints, no
-// reflection, no type descriptors. Coordinates are raw IEEE-754 bit
-// patterns: NaN payloads and signed zeros survive bit-identically (a
-// Byzantine sender controls every bit it ships, and the inbound validator —
-// not the codec — decides what is acceptable). WIRE.md is the normative
-// byte-level specification of all three frame types and the hello
-// handshake.
+// exact frame extent after 15 bytes (plus 8 and/or 5 for the extensions) —
+// no varints, no reflection, no type descriptors. Coordinates are raw
+// IEEE-754 bit patterns: NaN payloads and signed zeros survive
+// bit-identically (a Byzantine sender controls every bit it ships, and the
+// inbound validator — not the codec — decides what is acceptable). WIRE.md
+// is the normative byte-level specification of all frame types and the
+// hello handshake.
 //
 // # Buffer ownership contract
 //
@@ -75,8 +92,20 @@ const (
 	// MaxShardCount bounds the shard count a chunk frame may declare (the
 	// largest value its uint16 wire field holds).
 	MaxShardCount = 1<<16 - 1
-	// chunkFlag is bit 7 of the kind byte: set on chunk frames.
-	chunkFlag = 0x80
+	// CompHeaderSize is the length of the compression extension compressed
+	// frames carry ({scheme uint8, enc-len uint32}).
+	CompHeaderSize = 5
+	// MaxCompSlack bounds how far a compressed payload may exceed the raw
+	// encoding of its declared range: every shipped scheme SHRINKS its
+	// payload, so enc-len ≤ 8·vec-len + MaxCompSlack caps what a header can
+	// make a receiver stage without also capping legitimate scheme headers.
+	MaxCompSlack = 64
+	// chunkFlag is bit 7 of the kind byte: set on chunk frames. compFlag is
+	// bit 6: set on compressed frames. kindFlagMask covers both, so base
+	// kinds live in [0, 0x40).
+	chunkFlag    = 0x80
+	compFlag     = 0x40
+	kindFlagMask = chunkFlag | compFlag
 )
 
 // ErrShortFrame reports a frame shorter than its header declares.
@@ -84,9 +113,14 @@ var ErrShortFrame = fmt.Errorf("transport: short frame")
 
 // EncodedSize returns the exact frame length AppendMessage would produce.
 func EncodedSize(m *Message) int {
-	n := FrameHeaderSize + len(m.From) + 8*len(m.Vec)
+	n := FrameHeaderSize + len(m.From)
 	if m.IsShard() {
 		n += ShardHeaderSize
+	}
+	if m.IsCompressed() {
+		n += CompHeaderSize + len(m.Comp.Data)
+	} else {
+		n += 8 * len(m.Vec)
 	}
 	return n
 }
@@ -110,29 +144,41 @@ func checkShardMeta(index, count, offset, vecLen int) error {
 
 // AppendMessage appends m's wire frame to buf and returns the extended
 // slice (append semantics: the result may alias buf's array or a grown
-// one). Messages with Shard.Count > 0 are framed as chunk frames. It errors
+// one). Messages with Shard.Count > 0 are framed as chunk frames; messages
+// with Comp.Scheme != 0 as compressed frames (Vec must be empty — the
+// payload is Comp.Data and the vec-len field carries Comp.Dim). It errors
 // on messages that violate the frame limits rather than emit a frame no
 // receiver would accept.
 func AppendMessage(buf []byte, m *Message) ([]byte, error) {
 	if len(m.From) > MaxFromLen {
 		return buf, fmt.Errorf("transport: sender ID %d bytes exceeds limit %d", len(m.From), MaxFromLen)
 	}
-	if len(m.Vec) > MaxVecLen {
-		return buf, fmt.Errorf("transport: payload %d coordinates exceeds limit %d", len(m.Vec), MaxVecLen)
+	if m.Kind&kindFlagMask != 0 {
+		// Bits 6–7 of the kind byte discriminate the frame type on the wire;
+		// a kind carrying either would make the frame ambiguous.
+		return buf, fmt.Errorf("transport: kind %d collides with the frame flag bits", m.Kind)
 	}
-	if m.Kind&chunkFlag != 0 {
-		// Bit 7 of the kind byte discriminates the frame type on the wire;
-		// a kind carrying it would make the frame ambiguous.
-		return buf, fmt.Errorf("transport: kind %d collides with the chunk flag", m.Kind)
+	vecLen := len(m.Vec)
+	if m.IsCompressed() {
+		if vecLen != 0 {
+			return buf, fmt.Errorf("transport: compressed message also carries %d raw coordinates", vecLen)
+		}
+		if err := checkCompMeta(m.Comp.Scheme, m.Comp.Dim, len(m.Comp.Data)); err != nil {
+			return buf, err
+		}
+		vecLen = m.Comp.Dim
 	}
-	var hdr [FrameHeaderSize + ShardHeaderSize]byte
+	if vecLen > MaxVecLen {
+		return buf, fmt.Errorf("transport: payload %d coordinates exceeds limit %d", vecLen, MaxVecLen)
+	}
+	var hdr [FrameHeaderSize + ShardHeaderSize + CompHeaderSize]byte
 	hdr[0] = byte(m.Kind)
 	binary.LittleEndian.PutUint64(hdr[1:], uint64(int64(m.Step)))
 	binary.LittleEndian.PutUint16(hdr[9:], uint16(len(m.From)))
-	binary.LittleEndian.PutUint32(hdr[11:], uint32(len(m.Vec)))
+	binary.LittleEndian.PutUint32(hdr[11:], uint32(vecLen))
 	hdrLen := FrameHeaderSize
 	if m.IsShard() {
-		if err := checkShardMeta(m.Shard.Index, m.Shard.Count, m.Shard.Offset, len(m.Vec)); err != nil {
+		if err := checkShardMeta(m.Shard.Index, m.Shard.Count, m.Shard.Offset, vecLen); err != nil {
 			return buf, err
 		}
 		hdr[0] |= chunkFlag
@@ -141,8 +187,17 @@ func AppendMessage(buf []byte, m *Message) ([]byte, error) {
 		binary.LittleEndian.PutUint32(hdr[19:], uint32(m.Shard.Offset))
 		hdrLen += ShardHeaderSize
 	}
+	if m.IsCompressed() {
+		hdr[0] |= compFlag
+		hdr[hdrLen] = m.Comp.Scheme
+		binary.LittleEndian.PutUint32(hdr[hdrLen+1:], uint32(len(m.Comp.Data)))
+		hdrLen += CompHeaderSize
+	}
 	buf = append(buf, hdr[:hdrLen]...)
 	buf = append(buf, m.From...)
+	if m.IsCompressed() {
+		return append(buf, m.Comp.Data...), nil
+	}
 	// Reserve the payload region, then fill it with direct little-endian
 	// stores — the loop compiles to one 8-byte move per coordinate, which
 	// is what makes the encoder memory-bound rather than reflection-bound
@@ -219,6 +274,29 @@ func shardExtent(ext []byte, vecLen int) (ShardMeta, error) {
 	return s, nil
 }
 
+// checkCompMeta validates the compression extension fields, symmetrically on
+// both sides like checkShardMeta. The scheme byte is NOT checked against the
+// schemes this build knows: an unknown scheme is a well-formed frame whose
+// payload the codec transports opaquely — dropping it is the receiving
+// node's negotiation decision, not a codec error. The enc-len bound is the
+// anti-amplification line: no compressed frame may declare a payload larger
+// than the raw encoding of its range (plus fixed slack for scheme headers),
+// so a header cannot make a receiver stage more than the plain frame of the
+// same dimension would.
+func checkCompMeta(scheme uint8, dim, encLen int) error {
+	if scheme == 0 {
+		return fmt.Errorf("transport: compressed frame declares scheme 0")
+	}
+	if dim < 1 || dim > MaxVecLen {
+		return fmt.Errorf("transport: compressed frame declares %d coordinates (want [1, %d])", dim, MaxVecLen)
+	}
+	if encLen > 8*dim+MaxCompSlack {
+		return fmt.Errorf("transport: compressed payload %d bytes exceeds the %d-coordinate bound %d",
+			encLen, dim, 8*dim+MaxCompSlack)
+	}
+	return nil
+}
+
 // DecodeMessage parses one frame from the front of data into m and returns
 // the number of bytes consumed. data is never retained. Errors: ErrShortFrame
 // when data ends before the declared extent, a limit error when the header
@@ -242,12 +320,44 @@ func DecodeMessage(data []byte, m *Message) (int, error) {
 		}
 		hdrLen += ShardHeaderSize
 	}
+	if data[0]&compFlag != 0 {
+		if len(data) < hdrLen+CompHeaderSize {
+			return 0, ErrShortFrame
+		}
+		ext := data[hdrLen : hdrLen+CompHeaderSize]
+		scheme := ext[0]
+		rawEnc := binary.LittleEndian.Uint32(ext[1:])
+		encLen := int(rawEnc)
+		if err := checkCompMeta(scheme, vecLen, encLen); err != nil {
+			return 0, err
+		}
+		hdrLen += CompHeaderSize
+		total := hdrLen + fromLen + encLen
+		if len(data) < total {
+			return 0, ErrShortFrame
+		}
+		body := data[hdrLen:total]
+		m.Kind = Kind(data[0] &^ byte(kindFlagMask))
+		m.Step = step
+		if from := body[:fromLen]; string(from) != m.From {
+			m.From = string(from)
+		}
+		m.Vec = m.Vec[:0]
+		m.Comp = CompMeta{
+			Scheme: scheme,
+			Dim:    vecLen,
+			Data:   append(m.Comp.Data[:0], body[fromLen:]...),
+		}
+		m.Shard = shard
+		return total, nil
+	}
 	total := hdrLen + fromLen + 8*vecLen
 	if len(data) < total {
 		return 0, ErrShortFrame
 	}
 	decodeInto(m, Kind(data[0]&^chunkFlag), step, data[hdrLen:total], fromLen, vecLen)
 	m.Shard = shard
+	m.Comp = CompMeta{}
 	return total, nil
 }
 
@@ -291,7 +401,24 @@ func ReadMessage(r io.Reader, scratch *[]byte, m *Message) error {
 			return err
 		}
 	}
-	chunk := fromLen + 8*vecLen
+	var scheme uint8
+	encLen := 0
+	if hdr[0]&compFlag != 0 {
+		var ext [CompHeaderSize]byte
+		if err := readFull(r, ext[:]); err != nil {
+			return err
+		}
+		scheme = ext[0]
+		encLen = int(binary.LittleEndian.Uint32(ext[1:]))
+		if err := checkCompMeta(scheme, vecLen, encLen); err != nil {
+			return err
+		}
+	}
+	payloadBytes := 8 * vecLen
+	if scheme != 0 {
+		payloadBytes = encLen
+	}
+	chunk := fromLen + payloadBytes
 	if chunk > readChunkBytes {
 		chunk = readChunkBytes
 	}
@@ -306,9 +433,47 @@ func ReadMessage(r io.Reader, scratch *[]byte, m *Message) error {
 	if from := buf[:fromLen]; string(from) != m.From {
 		m.From = string(from)
 	}
-	m.Kind = Kind(hdr[0] &^ chunkFlag)
+	m.Kind = Kind(hdr[0] &^ byte(kindFlagMask))
 	m.Step = step
 	m.Shard = shard
+
+	if scheme != 0 {
+		// Compressed payloads stage through the same bounded-chunk loop as
+		// raw ones: the receiver commits memory only as encoded bytes land,
+		// exact-size for payloads an honest scheme would emit at protocol
+		// dimensions, geometric growth tracking received bytes beyond that.
+		data := m.Comp.Data[:0]
+		if cap(data) < encLen {
+			data = nil
+		}
+		for filled := 0; filled < encLen; {
+			n := encLen - filled
+			if n > len(buf) {
+				n = len(buf)
+			}
+			if err := readFull(r, buf[:n]); err != nil {
+				return err
+			}
+			if data == nil && encLen <= 8*preallocCoords {
+				data = make([]byte, 0, encLen)
+			}
+			if cap(data) < filled+n {
+				c := 2 * (filled + n)
+				if c > encLen {
+					c = encLen
+				}
+				grown := make([]byte, filled, c)
+				copy(grown, data)
+				data = grown
+			}
+			data = append(data[:filled], buf[:n]...)
+			filled += n
+		}
+		m.Vec = m.Vec[:0]
+		m.Comp = CompMeta{Scheme: scheme, Dim: vecLen, Data: data}
+		return nil
+	}
+	m.Comp = CompMeta{}
 
 	// Payload memory is committed only after body bytes actually land:
 	// reuse the caller's capacity if it suffices (ownership contract),
@@ -369,34 +534,67 @@ func readFull(r io.Reader, buf []byte) error {
 // argument counts distinct NODES, not distinct From strings). The binding
 // is connection-scoped, not cryptographic: a peer may still claim any free
 // identity at dial time, but it gets exactly one per connection.
-const helloMagic = "GYW1"
+//
+// Two magics coexist. "GYW1" is the legacy hello (magic, ID length, ID) and
+// still what a non-compressing dialer emits, byte-for-byte — so a node
+// configured with `none` compression is wire-identical to a pre-compression
+// build. "GYW2" appends one capability byte after the ID: a bitmask of the
+// compress.Scheme bits the dialer may use on THIS connection (bit 1<<s for
+// scheme s; bit 0 unused — plain frames need no capability). Compression is
+// negotiated, not assumed: a receiver drops compressed frames whose scheme
+// was not announced in the hello, so a legacy peer and a compressing peer
+// interoperate (the legacy side simply never sees a compressed frame it
+// accepted no capability for — they count as DroppedUnnegotiated).
+const (
+	helloMagic   = "GYW1"
+	helloMagicV2 = "GYW2"
+)
 
-// appendHello appends the hello frame for the given node ID.
-func appendHello(buf []byte, id string) ([]byte, error) {
+// appendHello appends the hello frame for the given node ID and capability
+// mask. caps == 0 emits the legacy v1 hello.
+func appendHello(buf []byte, id string, caps uint8) ([]byte, error) {
 	if id == "" || len(id) > MaxFromLen {
 		return buf, fmt.Errorf("transport: hello ID must be 1..%d bytes, got %d", MaxFromLen, len(id))
 	}
-	buf = append(buf, helloMagic...)
+	magic := helloMagic
+	if caps != 0 {
+		magic = helloMagicV2
+	}
+	buf = append(buf, magic...)
 	buf = append(buf, byte(len(id)))
-	return append(buf, id...), nil
+	buf = append(buf, id...)
+	if caps != 0 {
+		buf = append(buf, caps)
+	}
+	return buf, nil
 }
 
-// readHello consumes a hello frame and returns the authenticated peer ID.
-func readHello(r io.Reader) (string, error) {
+// readHello consumes a hello frame and returns the authenticated peer ID
+// and the compression capability mask it announced (0 for a v1 hello).
+func readHello(r io.Reader) (string, uint8, error) {
 	var fixed [len(helloMagic) + 1]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
-		return "", fmt.Errorf("transport: read hello: %w", err)
+		return "", 0, fmt.Errorf("transport: read hello: %w", err)
 	}
-	if string(fixed[:len(helloMagic)]) != helloMagic {
-		return "", fmt.Errorf("transport: bad hello magic %q", fixed[:len(helloMagic)])
+	magic := string(fixed[:len(helloMagic)])
+	if magic != helloMagic && magic != helloMagicV2 {
+		return "", 0, fmt.Errorf("transport: bad hello magic %q", fixed[:len(helloMagic)])
 	}
 	n := int(fixed[len(helloMagic)])
 	if n == 0 {
-		return "", fmt.Errorf("transport: hello declares empty peer ID")
+		return "", 0, fmt.Errorf("transport: hello declares empty peer ID")
 	}
 	id := make([]byte, n)
 	if _, err := io.ReadFull(r, id); err != nil {
-		return "", fmt.Errorf("transport: read hello ID: %w", err)
+		return "", 0, fmt.Errorf("transport: read hello ID: %w", err)
 	}
-	return string(id), nil
+	var caps uint8
+	if magic == helloMagicV2 {
+		var c [1]byte
+		if _, err := io.ReadFull(r, c[:]); err != nil {
+			return "", 0, fmt.Errorf("transport: read hello capabilities: %w", err)
+		}
+		caps = c[0]
+	}
+	return string(id), caps, nil
 }

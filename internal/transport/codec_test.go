@@ -174,25 +174,50 @@ func TestReadMessageOversizedClaimIncrementalPath(t *testing.T) {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	buf, err := appendHello(nil, "wrk42")
+	buf, err := appendHello(nil, "wrk42", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := readHello(bytes.NewReader(buf))
-	if err != nil || id != "wrk42" {
-		t.Fatalf("readHello = %q, %v", id, err)
+	// A zero capability mask emits the legacy v1 hello byte-for-byte: a
+	// non-compressing build of this node is wire-identical to a
+	// pre-compression one.
+	if want := append(append([]byte(helloMagic), 5), "wrk42"...); !bytes.Equal(buf, want) {
+		t.Fatalf("v1 hello = %x, want %x", buf, want)
 	}
-	if _, err := appendHello(nil, ""); err == nil {
+	id, caps, err := readHello(bytes.NewReader(buf))
+	if err != nil || id != "wrk42" || caps != 0 {
+		t.Fatalf("readHello = %q, %d, %v", id, caps, err)
+	}
+	if _, err := appendHello(nil, "", 0); err == nil {
 		t.Fatal("empty hello ID accepted")
 	}
-	if _, err := appendHello(nil, strings.Repeat("x", MaxFromLen+1)); err == nil {
+	if _, err := appendHello(nil, strings.Repeat("x", MaxFromLen+1), 0); err == nil {
 		t.Fatal("oversized hello ID accepted")
 	}
-	if _, err := readHello(bytes.NewReader([]byte("NOPE\x03abc"))); err == nil {
+	if _, _, err := readHello(bytes.NewReader([]byte("NOPE\x03abc"))); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	if _, err := readHello(bytes.NewReader(buf[:4])); err == nil {
+	if _, _, err := readHello(bytes.NewReader(buf[:4])); err == nil {
 		t.Fatal("truncated hello accepted")
+	}
+}
+
+func TestHelloV2Capabilities(t *testing.T) {
+	buf, err := appendHello(nil, "wrk42", 0x0a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := append(append(append([]byte(helloMagicV2), 5), "wrk42"...), 0x0a); !bytes.Equal(buf, want) {
+		t.Fatalf("v2 hello = %x, want %x", buf, want)
+	}
+	id, caps, err := readHello(bytes.NewReader(buf))
+	if err != nil || id != "wrk42" || caps != 0x0a {
+		t.Fatalf("readHello = %q, %#x, %v", id, caps, err)
+	}
+	// Truncated before the capability byte: the header committed the stream
+	// to one more byte.
+	if _, _, err := readHello(bytes.NewReader(buf[:len(buf)-1])); err == nil {
+		t.Fatal("v2 hello without capability byte accepted")
 	}
 }
 
@@ -211,7 +236,7 @@ func TestTCPForgedSenderDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer raw.Close()
-	hello, err := appendHello(nil, "byz")
+	hello, err := appendHello(nil, "byz", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compress"
+)
+
+// Glue between the wire codec's compressed frames and the internal/compress
+// payload codecs. The split of responsibilities:
+//
+//   - internal/compress owns the bytes INSIDE a compressed payload and the
+//     per-stream state (delta references, top-k error feedback);
+//   - codec.go owns the frame AROUND it (the compression extension) and
+//     transports the payload opaquely, staying bijective;
+//   - this file converts between the two Message representations (raw Vec ↔
+//     Comp) and wraps in-process endpoints with the same per-link
+//     compression the TCP transport performs inside Send and readLoop.
+//
+// Compression state is strictly per directed link. On TCP, the encoder
+// lives on the outbound connection and the decoder in the accepting
+// readLoop, so a redial resets both ends together; on the in-process
+// network, Compressor keys encoders by destination and decoders by source.
+
+// CompressMessage replaces m's raw payload with its encoding under enc,
+// advancing enc's per-stream state. The kind/step/shard tags are unchanged
+// — compression is decided per frame and composes with chunk streaming. A
+// nil or disabled encoder, an already-compressed message, or an empty
+// payload is a no-op.
+func CompressMessage(enc *compress.Encoder, m *Message) error {
+	if enc == nil || !enc.Config().Enabled() || m.IsCompressed() || len(m.Vec) == 0 {
+		return nil
+	}
+	data, err := enc.Encode(m.Comp.Data[:0], uint8(m.Kind), int64(m.Step), m.Shard.Offset, m.Vec)
+	if err != nil {
+		return err
+	}
+	m.Comp = CompMeta{Scheme: uint8(enc.Config().Scheme), Dim: len(m.Vec), Data: data}
+	m.Vec = nil
+	return nil
+}
+
+// DecompressMessage expands m's compressed payload back into raw
+// coordinates using dec's per-stream state, reusing m.Vec's capacity. A
+// plain message is a no-op. On error m is unchanged: the caller drops the
+// frame and counts it (compress.ErrMalformed and compress.ErrReference
+// discriminate structural garbage from a desynchronised delta stream).
+func DecompressMessage(dec *compress.Decoder, m *Message) error {
+	if !m.IsCompressed() {
+		return nil
+	}
+	vec, err := dec.Decode(compress.Scheme(m.Comp.Scheme), uint8(m.Kind), int64(m.Step),
+		m.Shard.Offset, m.Comp.Dim, m.Comp.Data, m.Vec[:0])
+	if err != nil {
+		return err
+	}
+	m.Vec = vec
+	m.Comp = CompMeta{}
+	return nil
+}
+
+// Compressor wraps an in-process Endpoint with per-link payload
+// compression, mirroring what TCPNode does inside Send and readLoop so the
+// live cluster behaves identically on sockets and channels: outbound
+// payloads are encoded with a per-destination Encoder, inbound ones decoded
+// with a per-source Decoder, and frames that cannot be expanded are dropped
+// and counted instead of delivered. Safe for the same concurrency pattern
+// as the endpoints it wraps (one sender loop, one receiver loop): encoder
+// and decoder maps are guarded, and each per-link codec is only touched by
+// the one goroutine driving that side.
+type Compressor struct {
+	ep  Endpoint
+	cfg compress.Config
+	// maxDim bounds the logical dimension an inbound compressed frame may
+	// declare (0 = unbounded) — the same anti-amplification line as
+	// TCPNode.SetCompression: a 12-byte top-k payload must not expand into
+	// a 512 MiB vector on the receiver's behalf.
+	maxDim int
+
+	mu   sync.Mutex
+	encs map[string]*compLink
+	decs map[string]*compress.Decoder
+
+	unnegotiated uint64
+	malformed    uint64
+}
+
+// compLink is one outbound link's encoder plus the lock that pins encode
+// order to delivery order. The fault injector above this wrapper may call
+// Send from timer goroutines (delay spikes), and a delta stream whose wire
+// order diverged from its encode order would desynchronise the receiver —
+// the same reason TCPNode compresses under its connection write lock.
+type compLink struct {
+	mu  sync.Mutex
+	enc *compress.Encoder
+}
+
+var _ Endpoint = (*Compressor)(nil)
+
+// NewCompressor wraps ep. cfg must validate; maxDim bounds inbound declared
+// dimensions (0 = no bound, typically the deployment's parameter count).
+func NewCompressor(ep Endpoint, cfg compress.Config, maxDim int) (*Compressor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Compressor{
+		ep:     ep,
+		cfg:    cfg,
+		maxDim: maxDim,
+		encs:   make(map[string]*compLink),
+		decs:   make(map[string]*compress.Decoder),
+	}, nil
+}
+
+// ID implements Endpoint.
+func (c *Compressor) ID() string { return c.ep.ID() }
+
+// Close implements Endpoint.
+func (c *Compressor) Close() error { return c.ep.Close() }
+
+// DroppedUnnegotiated returns how many inbound compressed frames were
+// dropped for carrying a scheme this wrapper cannot decode.
+func (c *Compressor) DroppedUnnegotiated() uint64 { return atomic.LoadUint64(&c.unnegotiated) }
+
+// DroppedMalformed returns how many inbound compressed frames were dropped
+// because their payload failed to expand (structural garbage, a
+// desynchronised delta stream, or an over-limit declared dimension).
+func (c *Compressor) DroppedMalformed() uint64 { return atomic.LoadUint64(&c.malformed) }
+
+func (c *Compressor) linkFor(to string) *compLink {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := c.encs[to]
+	if l == nil {
+		l = &compLink{enc: compress.NewEncoder(c.cfg)}
+		c.encs[to] = l
+	}
+	return l
+}
+
+func (c *Compressor) decoderFor(from string) *compress.Decoder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dec := c.decs[from]
+	if dec == nil {
+		dec = compress.NewDecoder()
+		c.decs[from] = dec
+	}
+	return dec
+}
+
+// Send implements Endpoint: the payload is compressed under the (this →
+// to) link's encoder before the underlying endpoint ships it. Encode and
+// delivery happen under the link lock, so the receiver reconstructs
+// stateful streams in exactly the order they were encoded.
+func (c *Compressor) Send(to string, m Message) error {
+	if !c.cfg.Enabled() {
+		return c.ep.Send(to, m)
+	}
+	l := c.linkFor(to)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := CompressMessage(l.enc, &m); err != nil {
+		return fmt.Errorf("transport: compress to %s: %w", to, err)
+	}
+	return c.ep.Send(to, m)
+}
+
+// Recv implements Endpoint: compressed messages are expanded with the
+// (from → this) link's decoder before delivery; frames that fail to expand
+// are dropped, counted, and never surface to the caller — exactly the
+// socket path's behaviour.
+func (c *Compressor) Recv(timeout time.Duration) (Message, bool) {
+	var deadline time.Time
+	if timeout >= 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		m, ok := c.ep.Recv(timeout)
+		if !ok {
+			return m, false
+		}
+		if c.acceptInbound(&m) {
+			return m, true
+		}
+		if timeout >= 0 {
+			if timeout = time.Until(deadline); timeout < 0 {
+				timeout = 0
+			}
+		}
+	}
+}
+
+// acceptInbound expands a compressed message in place, counting drops.
+func (c *Compressor) acceptInbound(m *Message) bool {
+	if !m.IsCompressed() {
+		return true
+	}
+	if !compress.Scheme(m.Comp.Scheme).Known() {
+		atomic.AddUint64(&c.unnegotiated, 1)
+		return false
+	}
+	if c.maxDim > 0 && m.Comp.Dim > c.maxDim {
+		atomic.AddUint64(&c.malformed, 1)
+		return false
+	}
+	if err := DecompressMessage(c.decoderFor(m.From), m); err != nil {
+		atomic.AddUint64(&c.malformed, 1)
+		return false
+	}
+	return true
+}

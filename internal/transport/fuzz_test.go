@@ -2,8 +2,12 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"math"
 	"testing"
+
+	"repro/internal/compress"
 )
 
 // Fuzz targets for the wire layer: arbitrary bytes fed to the frame
@@ -48,6 +52,57 @@ func FuzzDecodeMessage(f *testing.F) {
 	forged[15] = 0x07 // index 7 of count 2
 	f.Add(forged)
 
+	// Compressed frames. Genuine ones come from the real encoders (float32,
+	// a delta keyframe + diff pair, top-k, and a compressed SHARD frame);
+	// the rest are well-formed frames around adversarial payloads — the wire
+	// codec transports them opaquely and bijectively, and the payload
+	// decoder must reject every one without panicking or allocating the
+	// claimed expansion.
+	compFrame := func(scheme uint8, dim int, payload []byte) []byte {
+		return mustEncode(f, Message{From: "wrk3", Kind: KindGradient, Step: 4,
+			Comp: CompMeta{Scheme: scheme, Dim: dim, Data: payload}})
+	}
+	vec := []float64{0.5, -2, 3.25, 1e-9}
+	f32enc := compress.NewEncoder(compress.Config{Scheme: compress.Float32})
+	if p, err := f32enc.Encode(nil, uint8(KindGradient), 4, 0, vec); err == nil {
+		f.Add(compFrame(uint8(compress.Float32), len(vec), p))
+	}
+	denc := compress.NewEncoder(compress.Config{Scheme: compress.Delta})
+	for step := int64(0); step < 2; step++ { // keyframe, then a diff
+		if p, err := denc.Encode(nil, uint8(KindGradient), step, 0, vec); err == nil {
+			f.Add(compFrame(uint8(compress.Delta), len(vec), p))
+		}
+	}
+	tenc := compress.NewEncoder(compress.Config{Scheme: compress.TopK, TopKFrac: 0.5})
+	if p, err := tenc.Encode(nil, uint8(KindGradient), 4, 32, vec); err == nil {
+		f.Add(mustEncode(f, Message{From: "wrk3", Kind: KindGradient, Step: 4,
+			Shard: ShardMeta{Index: 1, Count: 3, Offset: 32},
+			Comp:  CompMeta{Scheme: uint8(compress.TopK), Dim: len(vec), Data: p}}))
+	}
+	topk := func(dim int, k uint32, entries ...uint32) []byte { // entries = idx,bits pairs
+		p := binary.LittleEndian.AppendUint32(nil, k)
+		for _, e := range entries {
+			p = binary.LittleEndian.AppendUint32(p, e)
+		}
+		return compFrame(uint8(compress.TopK), dim, p)
+	}
+	one := math.Float32bits(1)
+	f.Add(topk(4, 3, 1, one))                                 // truncated index table (3 claimed, 1 shipped)
+	f.Add(topk(4, 1, 100, one))                               // out-of-range index
+	f.Add(topk(4, 2, 2, one, 2, one))                         // duplicate index
+	f.Add(topk(4, 9, 0, one))                                 // k > d claim
+	f.Add(topk(4, 2, 3, one, 1, one))                         // non-increasing indices
+	f.Add(compFrame(7, 4, []byte{1, 2}))                      // unknown scheme byte
+	f.Add(compFrame(uint8(compress.Float32), 1, nil))         // empty payload
+	f.Add(compFrame(uint8(compress.Delta), 4, []byte{0x09}))  // bad delta tag
+	diffNoRef := append([]byte{0x01}, make([]byte, 8+4*4)...) // diff with no reference
+	f.Add(compFrame(uint8(compress.Delta), 4, diffNoRef))
+	// A compression extension whose enc-len exceeds the declared range's
+	// byte bound: rejected from the header, before any staging.
+	overLen := compFrame(uint8(compress.Float32), 1, make([]byte, 16))
+	binary.LittleEndian.PutUint32(overLen[FrameHeaderSize+1:], 1<<30)
+	f.Add(overLen)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var m Message
 		n, err := DecodeMessage(data, &m)
@@ -79,6 +134,32 @@ func FuzzDecodeMessage(f *testing.F) {
 		for i := range m.Vec {
 			if math.Float64bits(m.Vec[i]) != math.Float64bits(viaStream.Vec[i]) {
 				t.Fatalf("stream decode changed coordinate %d", i)
+			}
+		}
+		if viaStream.Comp.Scheme != m.Comp.Scheme || viaStream.Comp.Dim != m.Comp.Dim ||
+			!bytes.Equal(viaStream.Comp.Data, m.Comp.Data) {
+			t.Fatalf("stream decode disagrees on compression: %+v vs %+v", viaStream.Comp, m.Comp)
+		}
+		if m.IsCompressed() {
+			if len(m.Vec) != 0 {
+				t.Fatal("compressed frame decoded raw coordinates too")
+			}
+			// Expansion must never panic, and must fail TYPED on garbage —
+			// the receiving node turns exactly these errors into
+			// DroppedMalformed instead of a crash. The dimension gate mirrors
+			// the node's SetCompression maxDim bound: a mutated top-k frame
+			// may legally claim a 2²⁶-coordinate expansion for 12 payload
+			// bytes, and no receiver expands beyond its deployment dimension.
+			if m.Comp.Dim > 1<<20 {
+				return
+			}
+			cp := m
+			if err := DecompressMessage(compress.NewDecoder(), &cp); err == nil {
+				if len(cp.Vec) != m.Comp.Dim || cp.IsCompressed() {
+					t.Fatalf("decompressed to %d coordinates, declared %d", len(cp.Vec), m.Comp.Dim)
+				}
+			} else if !errors.Is(err, compress.ErrMalformed) && !errors.Is(err, compress.ErrReference) {
+				t.Fatalf("decompress failed with an untyped error: %v", err)
 			}
 		}
 	})

@@ -56,12 +56,32 @@ type ShardMeta struct {
 	Offset int `json:"offset"`
 }
 
+// CompMeta tags a message whose payload travels compressed: instead of raw
+// float64 coordinates, the frame carries Data — an opaque payload encoded
+// by the internal/compress scheme identified by Scheme — that expands to
+// Dim coordinates. The zero value (Scheme == 0) marks a plain message. The
+// wire codec transports compressed payloads byte-for-byte (the frame
+// format stays bijective); EXPANSION is a separate, stateful step
+// (DecompressMessage) that the receiving transport performs after
+// negotiation checks, because delta streams need per-connection reference
+// state the codec deliberately does not own.
+type CompMeta struct {
+	// Scheme is the compression scheme byte (see compress.Scheme).
+	Scheme uint8 `json:"scheme"`
+	// Dim is the coordinate count Data expands to — what the frame's
+	// vec-len field carries on the wire.
+	Dim int `json:"dim"`
+	// Data is the encoded payload.
+	Data []byte `json:"data"`
+}
+
 // Message is the single unit of communication. Every phase of the protocol
 // ships one vector tagged with its sender, step and kind; the tag is what
 // lets receivers run bulk-synchronous training over an asynchronous network
 // (late messages are identified and discarded, future ones buffered). A
 // message may carry the whole vector or — when the sender streams in
-// coordinate shards — one shard of it, discriminated by Shard.Count.
+// coordinate shards — one shard of it, discriminated by Shard.Count; the
+// payload is either raw (Vec) or compressed (Comp), never both.
 type Message struct {
 	// From is the sender's node ID.
 	From string `json:"from"`
@@ -70,16 +90,31 @@ type Message struct {
 	// Step is the learning step t the payload belongs to.
 	Step int `json:"step"`
 	// Vec is the payload (a parameter vector or a gradient, whole or one
-	// shard of it per Shard).
+	// shard of it per Shard). Nil when the payload is compressed.
 	Vec tensor.Vector `json:"vec"`
-	// Shard is the chunk-streaming tag; the zero value means Vec is the
-	// whole vector.
+	// Shard is the chunk-streaming tag; the zero value means the payload
+	// covers the whole vector.
 	Shard ShardMeta `json:"shard,omitzero"`
+	// Comp is the compression tag; the zero value means Vec is raw.
+	Comp CompMeta `json:"comp,omitzero"`
 }
 
 // IsShard reports whether m carries one coordinate shard rather than a
 // whole vector.
 func (m *Message) IsShard() bool { return m.Shard.Count > 0 }
+
+// IsCompressed reports whether m's payload is compressed (Comp.Data, not
+// Vec, is the payload).
+func (m *Message) IsCompressed() bool { return m.Comp.Scheme != 0 }
+
+// PayloadDim is the coordinate count of m's payload regardless of
+// representation: len(Vec) for plain messages, Comp.Dim for compressed.
+func (m *Message) PayloadDim() int {
+	if m.IsCompressed() {
+		return m.Comp.Dim
+	}
+	return len(m.Vec)
+}
 
 // Clone returns a copy of m whose payload aliases nothing — the snapshot
 // every transport must take when it holds a message past its Send boundary
@@ -89,6 +124,9 @@ func (m *Message) IsShard() bool { return m.Shard.Count > 0 }
 func (m Message) Clone() Message {
 	if m.Vec != nil {
 		m.Vec = append(tensor.Vector(nil), m.Vec...)
+	}
+	if m.Comp.Data != nil {
+		m.Comp.Data = append([]byte(nil), m.Comp.Data...)
 	}
 	return m
 }

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/compress"
 )
 
 // TCPNode is a network endpoint backed by real TCP sockets. Messages are
@@ -34,8 +36,12 @@ type TCPNode struct {
 	conns    map[string]*tcpConn
 	accepted map[net.Conn]struct{}
 	box      *Mailbox
+	comp     compress.Config // outbound compression; announced in the hello
+	maxDim   int             // inbound declared-dimension bound (0 = none)
 
-	forged uint64 // frames dropped for From ≠ hello identity
+	forged       uint64 // frames dropped for From ≠ hello identity
+	unnegotiated uint64 // compressed frames dropped for an unannounced scheme
+	malformed    uint64 // compressed frames dropped for an undecodable payload
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -45,11 +51,17 @@ type TCPNode struct {
 var _ Endpoint = (*TCPNode)(nil)
 
 // tcpConn is one outbound connection: the socket plus a reusable encode
-// buffer, so steady-state sends write one frame with zero allocations.
+// buffer, so steady-state sends write one frame with zero allocations. When
+// the node compresses, the connection also owns the link's payload encoder
+// and a second reusable buffer for the encoded payload — per-connection
+// state, so a redial resets the sender's delta/error-feedback streams
+// exactly when the accepting readLoop (and its decoder) is replaced.
 type tcpConn struct {
-	mu  sync.Mutex // serialises frame writes
-	c   net.Conn
-	buf []byte // reused frame staging; owned by the connection
+	mu   sync.Mutex // serialises frame writes
+	c    net.Conn
+	buf  []byte // reused frame staging; owned by the connection
+	enc  *compress.Encoder
+	cbuf []byte // reused compressed-payload staging
 }
 
 // ListenTCP starts a node listening on addr. peers maps every other node's
@@ -100,6 +112,45 @@ func (n *TCPNode) ID() string { return n.id }
 // tests and monitoring.
 func (n *TCPNode) ForgedDropped() uint64 { return atomic.LoadUint64(&n.forged) }
 
+// DroppedUnnegotiated returns how many inbound compressed frames were
+// dropped because their scheme was not announced in the connection's hello
+// (or is unknown to this build). Negotiation is announce-then-use: a peer
+// that skipped the capability bit does not get to ship the scheme.
+func (n *TCPNode) DroppedUnnegotiated() uint64 { return atomic.LoadUint64(&n.unnegotiated) }
+
+// DroppedMalformed returns how many inbound compressed frames were dropped
+// because their payload failed to expand: structural garbage, a
+// desynchronised delta stream, or a declared dimension above the
+// SetCompression bound.
+func (n *TCPNode) DroppedMalformed() uint64 { return atomic.LoadUint64(&n.malformed) }
+
+// SetCompression configures outbound payload compression and the inbound
+// declared-dimension bound. Call it after ListenTCP and before the first
+// Send: the capability mask rides the hello frame, so connections opened
+// earlier announced nothing and their peers will drop compressed frames as
+// un-negotiated. cfg must validate; the `none` config leaves the node
+// wire-identical to one that never called SetCompression (legacy hello,
+// plain frames).
+//
+// maxDim (0 = unbounded) caps the logical dimension an inbound compressed
+// frame may declare before the decoder allocates its expansion — pass the
+// deployment's parameter count. Without the bound, a 12-byte top-k payload
+// claiming 2²⁶ coordinates would cost the receiver a 512 MiB vector; with
+// it, expansion is capped by the model the node actually trains.
+func (n *TCPNode) SetCompression(cfg compress.Config, maxDim int) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if maxDim < 0 {
+		return fmt.Errorf("transport: negative compression dimension bound %d", maxDim)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.comp = cfg
+	n.maxDim = maxDim
+	return nil
+}
+
 // Send implements Endpoint: it frames m into the connection's reusable
 // buffer and writes it, dialing (and helloing) on first use. m is only read
 // during the call — serialisation is the snapshot, so the caller may keep
@@ -112,6 +163,18 @@ func (n *TCPNode) Send(to string, m Message) error {
 	}
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
+	if conn.enc != nil && !m.IsCompressed() && len(m.Vec) > 0 {
+		// Compress under the connection lock: the encoder's per-stream state
+		// must advance in the exact order frames hit the wire, or a receiver
+		// reconstructing delta streams in arrival order would desynchronise.
+		data, err := conn.enc.Encode(conn.cbuf[:0], uint8(m.Kind), int64(m.Step), m.Shard.Offset, m.Vec)
+		if err != nil {
+			return fmt.Errorf("transport: compress to %s: %w", to, err)
+		}
+		conn.cbuf = data
+		m.Comp = CompMeta{Scheme: uint8(conn.enc.Config().Scheme), Dim: len(m.Vec), Data: data}
+		m.Vec = nil
+	}
 	buf, err := AppendMessage(conn.buf[:0], &m)
 	conn.buf = buf[:0] // keep grown capacity for the next frame
 	if err != nil {
@@ -170,6 +233,7 @@ func (n *TCPNode) conn(to string) (*tcpConn, error) {
 		return c, nil
 	}
 	addr, ok := n.peers[to]
+	comp := n.comp
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown peer %q", to)
@@ -202,8 +266,9 @@ func (n *TCPNode) conn(to string) (*tcpConn, error) {
 	}
 
 	// Authenticate the connection before it carries any message: the hello
-	// frame binds everything that follows to this node's identity.
-	hello, err := appendHello(nil, n.id)
+	// frame binds everything that follows to this node's identity and
+	// announces which compression schemes it may use.
+	hello, err := appendHello(nil, n.id, comp.CapMask())
 	if err == nil {
 		_, err = raw.Write(hello)
 	}
@@ -220,6 +285,9 @@ func (n *TCPNode) conn(to string) (*tcpConn, error) {
 		return c, nil
 	}
 	c := &tcpConn{c: raw}
+	if comp.Enabled() {
+		c.enc = compress.NewEncoder(comp)
+	}
 	n.conns[to] = c
 	return c, nil
 }
@@ -259,10 +327,14 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	// The connection speaks only after identifying itself; a stream that
 	// cannot produce a well-formed hello is not a peer.
-	peer, err := readHello(br)
+	peer, caps, err := readHello(br)
 	if err != nil {
 		return
 	}
+	// The decoder is per accepted connection, like the sender's encoder is
+	// per outbound connection: a redial replaces both together, so delta
+	// reference state never straddles a reconnect.
+	var dec *compress.Decoder
 	var scratch []byte
 	for {
 		var m Message
@@ -280,6 +352,29 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 			// keeps per-sender quorum dedup meaningful.
 			atomic.AddUint64(&n.forged, 1)
 			continue
+		}
+		if m.IsCompressed() {
+			s := compress.Scheme(m.Comp.Scheme)
+			if !s.Known() || s.Bit()&caps == 0 {
+				// Announce-then-use: a scheme the hello did not claim (or
+				// that this build cannot decode) is not negotiated.
+				atomic.AddUint64(&n.unnegotiated, 1)
+				continue
+			}
+			n.mu.Lock()
+			maxDim := n.maxDim
+			n.mu.Unlock()
+			if maxDim > 0 && m.Comp.Dim > maxDim {
+				atomic.AddUint64(&n.malformed, 1)
+				continue
+			}
+			if dec == nil {
+				dec = compress.NewDecoder()
+			}
+			if err := DecompressMessage(dec, &m); err != nil {
+				atomic.AddUint64(&n.malformed, 1)
+				continue
+			}
 		}
 		n.box.Put(m)
 	}
