@@ -49,6 +49,8 @@ func run(args []string, out io.Writer) error {
 		compAxis = fs.String("compress", "", "scenario matrix only: comma-separated compression specs (none | float32 | delta[:key=N] | topk:k=F)")
 		wireJSON = fs.String("wire-json", "", "write the bandwidth experiment's wire rows to this file (commit as BENCH_wire.json) and exit")
 		wireChk  = fs.String("wire-check", "", "re-measure the bandwidth wire rows and compare byte counts against this committed BENCH_wire.json, then exit")
+		mbox     = fs.String("mailbox", "", "scale experiment only: mailbox bound for the live rows, policy[:cap=N] (default drop-oldest at the transport cap)")
+		scaleOut = fs.String("scale-json", "", "scale experiment only: also write the sweep rows to this file (commit as BENCH_scale.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +104,30 @@ func run(args []string, out io.Writer) error {
 	// runOne routes "matrix" through it so they apply under -exp all too.
 	customMatrix := *smoke || *attacks != "" || *rules != "" || *faults != "" || *compAxis != ""
 	runOne := func(id string) error {
+		if id == "scale" {
+			// Routed here rather than through RunExperiment so -smoke picks the
+			// CI population sizing and -mailbox/-scale-json apply.
+			mcfg, err := guanyu.ParseMailbox(*mbox)
+			if err != nil {
+				return err
+			}
+			r, err := guanyu.ScaleSweep(scale, *smoke, mcfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Format())
+			if *scaleOut != "" {
+				data, err := guanyu.ScaleBenchJSON(r)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*scaleOut, data, 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "wrote %d scale rows to %s\n", len(r.Rows), *scaleOut)
+			}
+			return nil
+		}
 		if id == "memory" && *shard > 0 {
 			rows, err := guanyu.Memory(scale, *shard)
 			if err != nil {

@@ -56,6 +56,7 @@ type nodeConfig struct {
 	timeout   time.Duration
 	shardSize int
 	compress  string
+	mailbox   string
 }
 
 func parseFlags(args []string) (*nodeConfig, error) {
@@ -80,6 +81,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		parallel = fs.Int("parallel", 0, "kernel worker count for this node (0 = all CPUs, 1 = serial; results are identical at any setting)")
 		shard    = fs.Int("shard", 0, "stream vectors as chunk frames of this many coordinates (0 = whole-vector framing; arm every node identically)")
 		comp     = fs.String("compress", "none", "wire compression for THIS node's sends: none | float32 | delta[:key=N] | topk:k=F (negotiated per connection; plain peers drop un-negotiated frames)")
+		mbox     = fs.String("mailbox", "none", "bound THIS node's inbound mailbox per sender, none | policy[:cap=N] with policy backpressure | drop-newest | drop-oldest")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -103,7 +105,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		fServers: *fServers, fWorkers: *fWorkers,
 		steps: *steps, batch: *batch, seed: *seed, examples: *examples,
 		byzMode: *byzMode, faultSpec: *faultSpec, ckptPath: *ckpt, timeout: *timeout,
-		shardSize: *shard, compress: *comp,
+		shardSize: *shard, compress: *comp, mailbox: *mbox,
 	}, nil
 }
 
@@ -188,6 +190,7 @@ func run(args []string, out io.Writer) error {
 		Timeout:     cfg.timeout,
 		ShardSize:   cfg.shardSize,
 		Compression: cfg.compress,
+		Mailbox:     cfg.mailbox,
 		OnListen: func(addr string) {
 			fmt.Fprintf(out, "%s listening on %s (%d servers, %d workers)\n",
 				cfg.id, addr, len(servers), len(workers))

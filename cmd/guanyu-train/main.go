@@ -50,6 +50,7 @@ func run(args []string, out io.Writer) error {
 		parallel  = fs.Int("parallel", 0, "kernel worker count (0 = all CPUs, 1 = serial; results are identical at any setting)")
 		shard     = fs.Int("shard", 0, "live runtime only: stream vectors as chunk frames of this many coordinates (0 = whole-vector framing; results are identical)")
 		comp      = fs.String("compress", "none", "wire compression for honest traffic: none | float32 | delta[:key=N] | topk:k=F")
+		mbox      = fs.String("mailbox", "none", "live runtime only: bound inbound mailboxes per sender, none | policy[:cap=N] with policy backpressure | drop-newest | drop-oldest")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +93,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *comp != "" {
 		opts = append(opts, guanyu.WithCompression(*comp))
+	}
+	if *mbox != "" {
+		opts = append(opts, guanyu.WithMailboxSpec(*mbox))
 	}
 
 	mk, err := guanyu.AttackByName(*attackName, *seed)

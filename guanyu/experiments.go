@@ -172,3 +172,23 @@ func Memory(s ExperimentScale, shardSize int) ([]MemoryRow, error) {
 
 // FormatMemory renders the peak-memory comparison table.
 func FormatMemory(rows []MemoryRow) string { return experiments.FormatMemory(rows) }
+
+// ScaleRow is one population point of the scale sweep.
+type ScaleRow = experiments.ScaleRow
+
+// ScaleSweepResult is the full scale sweep plus its peak-heap verdict.
+type ScaleSweepResult = experiments.ScaleSweepResult
+
+// ScaleSweep runs the node-count sweep enabled by the bounded-mailbox actor
+// runtime: the deterministic simulator at populations beyond 200 nodes and
+// the live goroutine-per-node runtime at 100, reporting steps/sec and the
+// sampled peak heap against a derived O(n·cap·frame) budget. smoke selects
+// the CI sizing (64 sim / 24 live); the zero mbox arms the default
+// drop-oldest bound on the live rows.
+func ScaleSweep(s ExperimentScale, smoke bool, mbox MailboxConfig) (*ScaleSweepResult, error) {
+	return experiments.ScaleSweep(s, smoke, mbox)
+}
+
+// ScaleBenchJSON serialises scale sweep rows for committing as
+// BENCH_scale.json (timings machine-dependent, informational baseline).
+func ScaleBenchJSON(r *ScaleSweepResult) ([]byte, error) { return experiments.ScaleBenchJSON(r) }

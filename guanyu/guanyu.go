@@ -83,6 +83,7 @@ type Deployment struct {
 	tcp         bool
 	shardSize   int
 	compression compress.Config
+	mailbox     transport.MailboxConfig
 
 	parallelism    int
 	parallelismSet bool
@@ -198,6 +199,9 @@ func (d *Deployment) normalize() error {
 	}
 	if d.shardSize > 0 && d.runtime != Live {
 		return fmt.Errorf("WithShardSize applies to the Live runtime only (the simulator models the wire in its cost model)")
+	}
+	if d.mailbox.Bounded() && d.runtime != Live {
+		return fmt.Errorf("WithMailbox applies to the Live runtime only (virtual time admits no overflow to bound)")
 	}
 	return nil
 }

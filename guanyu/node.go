@@ -70,6 +70,14 @@ type NodeConfig struct {
 	// dropped as un-negotiated, never misdecoded. Composes with ShardSize —
 	// each chunk frame is compressed as its own stream.
 	Compression string
+	// Mailbox bounds this node's inbound mailbox per sender and routes its
+	// sends through per-link courier goroutines, by spec string: "none"
+	// (default, unbounded) or "policy[:cap=N]" with policy ∈ {backpressure,
+	// drop-newest, drop-oldest} (see WithMailbox). The bound is this node's
+	// own defense — a spraying peer occupies at most cap frames here — so
+	// arming nodes individually is meaningful, but arm every node to bound
+	// the whole deployment.
+	Mailbox string
 	// Timeout bounds each quorum wait (default 5 minutes).
 	Timeout time.Duration
 	// LR overrides the learning-rate schedule (servers only; default
@@ -167,6 +175,10 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	mbox, err := ParseMailbox(cfg.Mailbox)
+	if err != nil {
+		return nil, err
+	}
 
 	node, err := transport.ListenTCP(cfg.ID, listen, nil)
 	if err != nil {
@@ -180,7 +192,17 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			return nil, err
 		}
 	}
-	ep := transport.NewFaultInjector(cfg.Faults).Wrap(node)
+	if mbox.Bounded() {
+		if err := node.SetMailbox(mbox); err != nil {
+			return nil, err
+		}
+	}
+	var ep transport.Endpoint = transport.NewFaultInjector(cfg.Faults).Wrap(node)
+	if mbox.Bounded() {
+		// Per-link couriers decouple this node's broadcast loop from its
+		// slowest peer; closing the courier wrapper flushes queued frames.
+		ep = transport.NewCouriers(ep, mbox)
+	}
 	// Closing the wrapper first flushes reorder-held and delay-spiked
 	// messages before the sockets go away: this process may be the last
 	// sender its peers' final quorums are waiting on.

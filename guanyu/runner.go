@@ -127,6 +127,7 @@ func (liveRunner) Run(ctx context.Context, d *Deployment) (*Result, error) {
 			Suspicion:     d.suspicion,
 			ShardSize:     d.shardSize,
 			Compression:   d.compression,
+			Mailbox:       d.mailbox,
 		}
 		var res *cluster.LiveResult
 		res, err = cluster.RunLiveContext(ctx, cfg)
@@ -200,6 +201,14 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 			if err := node.SetCompression(d.compression, dim); err != nil {
 				node.Close()
 				return nil, nil, fmt.Errorf("guanyu: compression %s: %w", id, err)
+			}
+		}
+		if d.mailbox.Bounded() {
+			// Inbound bounding is each receiver's own defense, so every node —
+			// Byzantine included — gets it, matching the in-process runtime.
+			if err := node.SetMailbox(d.mailbox); err != nil {
+				node.Close()
+				return nil, nil, fmt.Errorf("guanyu: mailbox %s: %w", id, err)
 			}
 		}
 		nodes[id] = node
@@ -281,8 +290,12 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 		var sep transport.Endpoint = nodes[scfg.ID]
 		if scfg.Attack == nil {
 			// Faults hit honest traffic only (the adversary's covert network
-			// is ideal, as in the simulator).
+			// is ideal, as in the simulator). Bounded deployments add per-link
+			// couriers on top, so the node loop never blocks on a slow link.
 			sep = d.faults.Wrap(sep)
+			if d.mailbox.Bounded() {
+				sep = transport.NewCouriers(sep, d.mailbox)
+			}
 		}
 		wg.Add(1)
 		go func() {
@@ -321,6 +334,9 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 		var wep transport.Endpoint = nodes[wcfg.ID]
 		if wcfg.Attack == nil {
 			wep = d.faults.Wrap(wep)
+			if d.mailbox.Bounded() {
+				wep = transport.NewCouriers(wep, d.mailbox)
+			}
 		}
 		wg.Add(1)
 		go func() {

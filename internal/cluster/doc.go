@@ -34,6 +34,27 @@
 // classic Collector, which reassembles inbound chunk streams per sender,
 // so the two framings interoperate within one deployment.
 //
+// # Actor runtime
+//
+// Each node is an actor: its loop consumes one bounded per-sender inbound
+// mailbox (LiveConfig.Mailbox, applied to every endpoint via SetMailbox
+// → transport.Mailbox) and broadcasts through per-link couriers
+// (transport.Couriers), one goroutine and one bounded outbox per
+// destination, so a slow or dead peer delays only its own link. The
+// zero-value configuration keeps the historical unbounded behaviour; when
+// a bound is set, drop-oldest is the protocol-safe lossy policy — quorums
+// only ever admit a sender's freshest step, so evicting that sender's
+// oldest queued frame discards exactly what the collector would have
+// rejected as stale, and the per-sender accounting means a flooding
+// Byzantine node can never evict honest traffic. When no overflow occurs
+// the bound is invisible: the regression suite asserts whole-vector,
+// sharded and compressed runs are bit-identical under every policy.
+// LiveResult surfaces DroppedOverflow / DroppedClosed totals, and
+// ServerConfig.Stats exposes the per-node collector counters to tests.
+// The flood soak test (flood_test.go) pins the memory bound: peak heap
+// under a Byzantine-rate TCP spray stays within the
+// nodes × cap × frame-size budget while training converges.
+//
 // # Invariants
 //
 //   - Quorum membership and order are decided by arrival time alone; the

@@ -87,6 +87,17 @@ type LiveConfig struct {
 	// network is ideal, and compressing its payloads would perturb its
 	// chosen attack vectors. The zero value disables compression.
 	Compression compress.Config
+	// Mailbox bounds every node's inbound mailbox per sender and, when
+	// bounded, routes every honest node's sends through per-link courier
+	// goroutines with equally bounded outboxes (see transport.Couriers) —
+	// the actor runtime described in DESIGN.md. A fast or Byzantine peer
+	// can then buffer at most Cap frames at each receiver and each honest
+	// sender queues at most Cap frames per link, so a node's worst-case
+	// buffering is O(n·Cap) regardless of traffic rates. The zero value
+	// keeps the unbounded mailboxes of the pure asynchronous model, and
+	// overflow-free schedules are byte-for-byte unaffected by the policy
+	// chosen. Drops are counted in LiveResult.DroppedOverflow.
+	Mailbox transport.MailboxConfig
 }
 
 // Validate checks the deployment against the theoretical requirements of the
@@ -164,6 +175,14 @@ type LiveResult struct {
 	// vectors — the model θ̄ the paper's convergence statement (Eq. 1) is
 	// about.
 	Final tensor.Vector
+	// DroppedOverflow totals the frames shed by bounded mailboxes across
+	// the whole deployment — inbound per-sender evictions plus outbound
+	// courier-queue evictions. Zero whenever the schedule never overflowed
+	// (in particular always zero with the unbounded default).
+	DroppedOverflow uint64
+	// DroppedClosed totals the frames that arrived at nodes after they had
+	// shut down — the tail traffic of senders outliving receivers.
+	DroppedClosed uint64
 }
 
 // RunLive executes the deployment to completion and returns the honest
@@ -188,9 +207,15 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 	if err := cfg.Compression.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Mailbox.Validate(); err != nil {
+		return nil, err
+	}
 
 	network := transport.NewChanNetwork(cfg.Delay)
 	defer network.Close()
+	if err := network.SetMailbox(cfg.Mailbox); err != nil {
+		return nil, err
+	}
 	watchDone := make(chan struct{})
 	defer close(watchDone)
 	go func() {
@@ -208,7 +233,13 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 	// sits next to the wire (per-link codec state, inbound drop counters
 	// bounded by the model dimension), the fault injector above it — so a
 	// delayed or duplicated delivery re-enters an already-encoded stream,
-	// exactly the composition the TCP runtime exhibits.
+	// exactly the composition the TCP runtime exhibits. A bounded mailbox
+	// adds couriers on top: the node loop hands frames to per-link bounded
+	// outboxes and never blocks on (or is blocked by) a slow link.
+	var (
+		courierMu sync.Mutex
+		couriers  []*transport.Couriers
+	)
 	wrapHonest := func(ep transport.Endpoint) (transport.Endpoint, error) {
 		if cfg.Compression.Enabled() {
 			c, err := transport.NewCompressor(ep, cfg.Compression, len(theta0))
@@ -217,7 +248,15 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 			}
 			ep = c
 		}
-		return cfg.Faults.Wrap(ep), nil
+		ep = cfg.Faults.Wrap(ep)
+		if cfg.Mailbox.Bounded() {
+			c := transport.NewCouriers(ep, cfg.Mailbox)
+			courierMu.Lock()
+			couriers = append(couriers, c)
+			courierMu.Unlock()
+			ep = c
+		}
+		return ep, nil
 	}
 
 	// Omniscient attacks get one shared view per message class: honest
@@ -358,6 +397,17 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 	}
 
 	res := &LiveResult{ServerParams: make(map[int]tensor.Vector, len(outs))}
+	// Settle in-flight delayed deliveries before reading the drop counters
+	// (the deferred Close is then a no-op).
+	network.Close()
+	for _, id := range append(append([]string{}, serverIDs...), workerIDs...) {
+		over, cl := network.Dropped(id)
+		res.DroppedOverflow += over
+		res.DroppedClosed += cl
+	}
+	for _, c := range couriers {
+		res.DroppedOverflow += c.DroppedOverflow()
+	}
 	finals := make([]tensor.Vector, 0, len(outs))
 	for _, o := range outs {
 		res.ServerParams[o.index] = o.theta

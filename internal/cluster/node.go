@@ -87,6 +87,40 @@ func collectStreamed(col *transport.ShardCollector, kind transport.Kind, step, q
 	return senders, kept, out, nil
 }
 
+// NodeStats snapshots a node's inbound hardening counters when its run
+// ends. The transport layer counts what it sheds (forged, un-negotiated,
+// overflowed frames — see TCPNode and Mailbox); these are the layer above:
+// what the quorum collector discarded after the transport let it through.
+// Attach one per node via ServerConfig.Stats / WorkerConfig.Stats; the node
+// fills it exactly once, when its loop returns.
+type NodeStats struct {
+	// DroppedFuture counts messages discarded for claiming a step beyond
+	// the collector's buffering horizon (step-spraying senders).
+	DroppedFuture int
+	// DroppedMalformed counts frames discarded for inconsistent shard
+	// framing (changed counts, non-tiling offsets, oversized assemblies).
+	DroppedMalformed int
+	// PeakBytes is the collector's buffered-payload high-water mark.
+	PeakBytes int
+}
+
+// recordStats copies the active collector's counters into st (nil-safe).
+func recordStats(st *NodeStats, col *transport.Collector, scol *transport.ShardCollector) {
+	if st == nil {
+		return
+	}
+	switch {
+	case scol != nil:
+		st.DroppedFuture = scol.DroppedFuture()
+		st.DroppedMalformed = scol.DroppedMalformed()
+		st.PeakBytes = scol.PeakBytes()
+	case col != nil:
+		st.DroppedFuture = col.DroppedFuture()
+		st.DroppedMalformed = col.DroppedMalformed()
+		st.PeakBytes = col.PeakBytes()
+	}
+}
+
 // ServerConfig parameterises one parameter-server node.
 type ServerConfig struct {
 	// ID is this node's network identifier.
@@ -145,6 +179,9 @@ type ServerConfig struct {
 	// still the n→q drop with the distance pass overlapped). Zero keeps
 	// whole-vector framing.
 	ShardSize int
+	// Stats, when non-nil, receives the node's collector counters when the
+	// run ends (on success or error).
+	Stats *NodeStats
 }
 
 // RunServer executes the server loop and returns the node's final parameter
@@ -174,6 +211,7 @@ func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
 		col = transport.NewCollector(ep)
 		col.Validator = validator(dim)
 	}
+	defer recordStats(cfg.Stats, col, scol)
 	theta := tensor.Clone(cfg.Init)
 	var velocity tensor.Vector
 	if cfg.Momentum > 0 {
@@ -328,6 +366,8 @@ type WorkerConfig struct {
 	View *attack.SharedView
 	// ShardSize mirrors ServerConfig.ShardSize for the worker's traffic.
 	ShardSize int
+	// Stats mirrors ServerConfig.Stats.
+	Stats *NodeStats
 }
 
 // RunWorker executes the worker loop.
@@ -349,6 +389,7 @@ func RunWorker(ep transport.Endpoint, cfg WorkerConfig) error {
 		col = transport.NewCollector(ep)
 		col.Validator = validator(dim)
 	}
+	defer recordStats(cfg.Stats, col, scol)
 
 	for t := 0; t < cfg.Steps; t++ {
 		var agg tensor.Vector

@@ -248,3 +248,194 @@ func TestShardedOverTCP(t *testing.T) {
 		t.Fatalf("sharded TCP deployment failed to converge: accuracy %.3f", acc)
 	}
 }
+
+// TestShardedTCPDropCountersUnderRogue arms one sharded live TCP run so
+// that all three inbound drop classes fire independently, and asserts each
+// through its own counter:
+//
+//   - DroppedOverflow: a rogue peer bursts 100 malformed frames at ps0
+//     before anyone drains — with a drop-oldest cap of 8, exactly the
+//     excess is evicted at the mailbox, deterministically.
+//   - DroppedFuture: the rogue's last frames claim a step far beyond the
+//     collector's horizon; the survivors of the burst are consumed at
+//     server startup and counted there.
+//   - DroppedMalformed: the remaining survivors carry shard tags that
+//     disagree with the deployment layout and die in the shard collector.
+//
+// Training then converges anyway: every drop class lands in the rogue's
+// own per-sender queue or in validation, never in an honest quorum slot.
+func TestShardedTCPDropCountersUnderRogue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up 7 TCP listeners")
+	}
+	const (
+		numServers, numWorkers = 3, 3
+		steps, batch           = 40, 16
+		shardSize              = 13
+		mailboxCap             = 8
+		burst                  = 100
+		futureFrames           = 4
+	)
+	model, train, test := testProblem(700)
+	theta0 := model.ParamVector()
+
+	ids := make([]string, 0, numServers+numWorkers)
+	for i := 0; i < numServers; i++ {
+		ids = append(ids, ServerID(i))
+	}
+	for j := 0; j < numWorkers; j++ {
+		ids = append(ids, WorkerID(j))
+	}
+	nodes := make(map[string]*transport.TCPNode, len(ids))
+	for _, id := range ids {
+		n, err := transport.ListenTCP(id, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		if err := n.SetMailbox(transport.MailboxConfig{
+			Cap: mailboxCap, Policy: transport.DropOldest,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		nodes[id] = n
+	}
+	for _, n := range nodes {
+		for _, id := range ids {
+			if id != n.ID() {
+				if err := n.AddPeer(id, nodes[id].Addr()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	target := nodes[ServerID(0)]
+
+	rogue, err := transport.ListenTCP("rogue", "127.0.0.1:0",
+		map[string]string{target.ID(): target.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rogue.Close()
+	// The burst: malformed shard tags (a count no honest layout produces),
+	// then frames claiming a step far beyond the horizon. Nobody drains
+	// ps0 yet, so drop-oldest must evict exactly the excess, leaving the
+	// newest mailboxCap frames: futureFrames future ones preceded by
+	// malformed ones.
+	for i := 0; i < burst; i++ {
+		if err := rogue.Send(target.ID(), transport.Message{
+			Kind: transport.KindGradient, Step: 0,
+			Vec:   tensor.Vector{1},
+			Shard: transport.ShardMeta{Index: 0, Count: 99, Offset: 0},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < futureFrames; i++ {
+		if err := rogue.Send(target.ID(), transport.Message{
+			Kind: transport.KindGradient, Step: 5000, Vec: tensor.Vector{1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const wantOverflow = burst + futureFrames - mailboxCap
+	deadline := time.Now().Add(10 * time.Second)
+	for target.DroppedOverflow() < wantOverflow && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := target.DroppedOverflow(); got != wantOverflow {
+		t.Fatalf("DroppedOverflow = %d, want %d before the run starts", got, wantOverflow)
+	}
+
+	serverIDs, workerIDs := ids[:numServers], ids[numServers:]
+	rng := tensor.NewRNG(23)
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		finals []tensor.Vector
+		errs   []error
+	)
+	var targetStats NodeStats
+	for i := 0; i < numServers; i++ {
+		peers := make([]string, 0, numServers-1)
+		for k, id := range serverIDs {
+			if k != i {
+				peers = append(peers, id)
+			}
+		}
+		scfg := ServerConfig{
+			ID: serverIDs[i], Workers: workerIDs, Peers: peers,
+			Init:     theta0,
+			GradRule: gar.MultiKrum{F: 0}, ParamRule: gar.Median{},
+			QuorumGradients: gar.MinQuorum(0),
+			QuorumParams:    gar.MinQuorum(0),
+			Steps:           steps,
+			LR:              func(int) float64 { return 0.2 },
+			Timeout:         time.Minute,
+			ShardSize:       shardSize,
+		}
+		if i == 0 {
+			scfg.Stats = &targetStats
+		}
+		ep := nodes[serverIDs[i]]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			theta, err := RunServer(ep, scfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			finals = append(finals, theta)
+		}()
+	}
+	for j := 0; j < numWorkers; j++ {
+		wcfg := WorkerConfig{
+			ID: workerIDs[j], Servers: serverIDs,
+			Model:   model.Clone(),
+			Sampler: dataset.NewSampler(train, rng.Split()),
+			Batch:   batch, ParamRule: gar.Median{},
+			QuorumParams: gar.MinQuorum(0),
+			Steps:        steps,
+			Timeout:      time.Minute,
+			ShardSize:    shardSize,
+		}
+		ep := nodes[workerIDs[j]]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunWorker(ep, wcfg); err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		t.Fatalf("sharded deployment under rogue failed: %v", errs[0])
+	}
+	if len(finals) != numServers {
+		t.Fatalf("expected %d finals, got %d", numServers, len(finals))
+	}
+
+	if targetStats.DroppedFuture != futureFrames {
+		t.Errorf("DroppedFuture = %d, want %d", targetStats.DroppedFuture, futureFrames)
+	}
+	if want := mailboxCap - futureFrames; targetStats.DroppedMalformed != want {
+		t.Errorf("DroppedMalformed = %d, want %d", targetStats.DroppedMalformed, want)
+	}
+	if got := target.DroppedOverflow(); got != wantOverflow {
+		t.Errorf("DroppedOverflow moved during the run: %d, want %d (honest traffic must not overflow)",
+			got, wantOverflow)
+	}
+	final, err := gar.Median{}.Aggregate(finals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := evalFinal(t, model, final, test); acc < 0.8 {
+		t.Fatalf("rogue drops broke convergence: accuracy %.3f", acc)
+	}
+}

@@ -5,13 +5,14 @@ import (
 	"io"
 
 	"repro/internal/stats"
+	"repro/internal/transport"
 )
 
 // ids is the presentation order of the experiment suite: the paper's tables
 // and figures first, then the design-choice ablations.
 var ids = []string{"table1", "fig3", "fig4", "table2", "overhead",
 	"contraction", "quorum", "gar", "async", "noniid", "matrix", "throughput",
-	"memory", "bandwidth"}
+	"memory", "bandwidth", "scale"}
 
 // IDs returns the experiment identifiers in presentation order.
 func IDs() []string {
@@ -100,6 +101,12 @@ func Run(id string, s Scale, out io.Writer) error {
 		fmt.Fprint(out, FormatMemory(rows))
 	case "bandwidth":
 		r, err := Bandwidth(s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Format())
+	case "scale":
+		r, err := ScaleSweep(s, false, transport.MailboxConfig{})
 		if err != nil {
 			return err
 		}

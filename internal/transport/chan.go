@@ -29,13 +29,15 @@ type Endpoint interface {
 type DelayFunc func(from, to string) time.Duration
 
 // ChanNetwork is an in-process network connecting named endpoints through
-// unbounded mailboxes. Delivery order between two nodes is FIFO when no
-// delay function is installed; with delays, messages may be reordered —
-// exactly the asynchrony the protocol must tolerate.
+// mailboxes — unbounded by default, per-sender bounded after SetMailbox.
+// Delivery order between two nodes is FIFO when no delay function is
+// installed; with delays, messages may be reordered — exactly the
+// asynchrony the protocol must tolerate.
 type ChanNetwork struct {
 	mu     sync.Mutex
 	nodes  map[string]*chanEndpoint
 	delay  DelayFunc
+	mbox   MailboxConfig
 	timers sync.WaitGroup
 	closed bool
 }
@@ -55,9 +57,29 @@ func (n *ChanNetwork) Register(id string) (Endpoint, error) {
 	if _, ok := n.nodes[id]; ok {
 		return nil, fmt.Errorf("transport: node %q already registered", id)
 	}
-	ep := &chanEndpoint{id: id, net: n, box: NewMailbox()}
+	ep := &chanEndpoint{id: id, net: n, box: NewMailboxWith(n.mbox)}
 	n.nodes[id] = ep
 	return ep, nil
+}
+
+// SetMailbox bounds every endpoint's inbound mailbox per sender — those
+// already registered and those yet to come. With Backpressure the sender's
+// goroutine (or the delayed-delivery timer) blocks in Put until the
+// receiver drains; with a drop policy the overflow is shed and counted on
+// the receiving endpoint. The zero config restores unbounded mailboxes.
+func (n *ChanNetwork) SetMailbox(cfg MailboxConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mbox = cfg
+	for _, ep := range n.nodes {
+		if err := ep.box.SetConfig(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close shuts down every endpoint and waits for in-flight delayed deliveries
@@ -79,6 +101,19 @@ func (n *ChanNetwork) Close() error {
 	}
 	n.timers.Wait()
 	return nil
+}
+
+// Dropped returns the named endpoint's inbound mailbox drop counters:
+// frames shed by the overflow policy and frames that arrived after the
+// endpoint closed. Unknown IDs read as zero.
+func (n *ChanNetwork) Dropped(id string) (overflow, closed uint64) {
+	n.mu.Lock()
+	ep, ok := n.nodes[id]
+	n.mu.Unlock()
+	if !ok {
+		return 0, 0
+	}
+	return ep.box.DroppedOverflow(), ep.box.DroppedClosed()
 }
 
 func (n *ChanNetwork) deliver(from, to string, m Message) error {

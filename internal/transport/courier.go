@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Couriers decouples a node loop from its slowest link: Send enqueues the
+// message into a per-destination bounded outbox, and a dedicated courier
+// goroutine per link performs the real Endpoint.Send. With a drop policy
+// the node's broadcast loop never blocks — a stalled or backpressured peer
+// costs that one link its freshest frames, not the node its step cadence.
+// With Backpressure, Send blocks only when the one link addressed is at
+// its cap, which is the policy's contract.
+//
+// The outbox applies the same MailboxConfig as the inbound mailboxes, so a
+// node's worst-case buffering is symmetric: Cap frames per inbound sender
+// plus Cap frames per outbound link — O(n·Cap) either way.
+//
+// Messages are snapshotted (Message.Clone) at the Send boundary, because
+// the courier holds them past it and the node keeps mutating its vector.
+type Couriers struct {
+	ep  Endpoint
+	cfg MailboxConfig
+
+	mu     sync.Mutex
+	links  map[string]*Mailbox
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ Endpoint = (*Couriers)(nil)
+
+// NewCouriers wraps ep. A zero (unbounded) config still decouples sends
+// from the wire but never drops; bounded configs apply their policy per
+// link. Couriers passes Recv and ID through untouched.
+func NewCouriers(ep Endpoint, cfg MailboxConfig) *Couriers {
+	return &Couriers{ep: ep, cfg: cfg, links: make(map[string]*Mailbox)}
+}
+
+// ID implements Endpoint.
+func (c *Couriers) ID() string { return c.ep.ID() }
+
+// Send implements Endpoint: it snapshots m into the destination's outbox
+// and returns. The courier goroutine owning that link delivers in FIFO
+// order; its Send errors are dropped, as the best-effort network model
+// prescribes (the node loops already discard them).
+func (c *Couriers) Send(to string, m Message) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("transport: couriers closed")
+	}
+	box, ok := c.links[to]
+	if !ok {
+		box = NewMailboxWith(c.cfg)
+		c.links[to] = box
+		c.wg.Add(1)
+		go c.run(to, box)
+	}
+	c.mu.Unlock()
+	box.Put(m.Clone())
+	return nil
+}
+
+// run is one link's courier: it drains the outbox in order until the
+// mailbox is closed and empty, so frames queued at Close still flush.
+func (c *Couriers) run(to string, box *Mailbox) {
+	defer c.wg.Done()
+	for {
+		m, ok := box.Recv(-1)
+		if !ok {
+			return
+		}
+		_ = c.ep.Send(to, m)
+	}
+}
+
+// Recv implements Endpoint.
+func (c *Couriers) Recv(timeout time.Duration) (Message, bool) {
+	return c.ep.Recv(timeout)
+}
+
+// DroppedOverflow returns the total outbound frames discarded across all
+// links by the overflow policy.
+func (c *Couriers) DroppedOverflow() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n uint64
+	for _, box := range c.links {
+		n += box.DroppedOverflow()
+	}
+	return n
+}
+
+// Close implements Endpoint: it stops accepting sends, lets every courier
+// flush its queued frames, then closes the wrapped endpoint. Safe for
+// concurrent callers.
+func (c *Couriers) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	links := make([]*Mailbox, 0, len(c.links))
+	for _, box := range c.links {
+		links = append(links, box)
+	}
+	c.mu.Unlock()
+	for _, box := range links {
+		box.Close()
+	}
+	c.wg.Wait()
+	return c.ep.Close()
+}

@@ -3,9 +3,22 @@
 //   - Message, the single wire format exchanged by all nodes — a whole
 //     parameter/gradient vector, or (tagged by ShardMeta) one coordinate
 //     shard of one when the deployment streams in chunks;
-//   - ChanNetwork, an in-process asynchronous network with unbounded
-//     mailboxes and optional injected delays (used by the live cluster
-//     runtime and the integration tests);
+//   - Mailbox, the bounded per-sender inbox every receiving endpoint owns:
+//     one global arrival-order FIFO threaded through per-sender chains, a
+//     configurable per-sender Cap and an overflow Policy (Backpressure
+//     blocks the producer, DropNewest refuses the arriving frame,
+//     DropOldest evicts the sender's oldest queued frame), with
+//     DroppedOverflow / DroppedClosed counters exposing what the bound
+//     discarded;
+//   - Couriers, the per-link outbound actors: Send snapshots the message
+//     (Clone at enqueue) into one bounded outbox Mailbox per destination,
+//     and a dedicated goroutine per link drains it into the wrapped
+//     Endpoint, so one slow or dead peer can never stall a node loop or
+//     any other link;
+//   - ChanNetwork, an in-process asynchronous network with per-receiver
+//     Mailboxes (unbounded by default, bounded via SetMailbox) and
+//     optional injected delays (used by the live cluster runtime and the
+//     integration tests);
 //   - TCPNode, a real TCP transport speaking the hand-rolled binary frame
 //     codec of codec.go — fixed {kind, step, from-len, vec-len} header (plus
 //     an 8-byte shard extension on chunk frames) and little-endian float64
@@ -31,6 +44,30 @@
 //     delay injection in the live runtime and the virtual clock of the
 //     deterministic experiment simulator.
 //
+// # Actor runtime
+//
+// Receiving endpoints (TCPNode, ChanNetwork) deliver through a Mailbox and
+// honest senders broadcast through Couriers, which makes every node an
+// actor with bounded queues on both sides of the wire. The ownership
+// contract: the endpoint owns its inbound Mailbox (readers call Recv, never
+// Put), Couriers own one outbox per link (callers hand over a message at
+// Send and must not mutate it afterwards — Couriers clones defensively at
+// enqueue so node loops may reuse their broadcast vector anyway). Close on
+// either side flushes: Recv drains messages accepted before Close, Put
+// after Close is refused and counted in DroppedClosed.
+//
+// Overflow is accounted per sender, which is the property that makes a
+// bound Byzantine-safe: a flooding sender can only evict (DropOldest) or
+// forfeit (DropNewest) frames in its *own* per-sender chain, never another
+// peer's, so honest traffic is untouched however fast the attacker sprays.
+// DropOldest is the protocol-safe lossy default because GuanYu's quorums
+// only ever want a sender's most recent step — an evicted older frame is
+// one that had already been superseded, exactly what the collectors would
+// have discarded as stale. Backpressure is lossless but couples the
+// producer to the consumer's drain rate; it is the right choice only when
+// every peer is trusted to drain (DroppedOverflow stays zero by
+// construction, and a parked Put is released by Close).
+//
 // # Contract and invariants
 //
 // Arrival order is literal: which messages (and which shards) enter a
@@ -48,7 +85,9 @@
 // Receivers are hardened against resource-exhaustion from the header alone
 // (bounded declared lengths, traffic-paced allocation), against
 // step-spraying (the collectors' future-step Horizon), and against
-// malformed shard streams (layout checks, tiling checks, assembly caps);
-// the ForgedDropped / DroppedFuture / DroppedMalformed counters expose
-// what the hardening discarded. See WIRE.md §6 for the full statement.
+// malformed shard streams (layout checks, tiling checks, assembly caps),
+// and — with a bounded Mailbox armed — against flooding (the per-sender
+// cap); the ForgedDropped / DroppedFuture / DroppedMalformed /
+// DroppedOverflow / DroppedClosed counters expose what the hardening
+// discarded. See WIRE.md §6 for the full statement.
 package transport

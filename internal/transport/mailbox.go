@@ -1,43 +1,293 @@
 package transport
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
 
-// Mailbox is an unbounded, closable message queue. Senders never block — the
-// model's network is asynchronous and reliable, so the transport must accept
-// any number of in-flight messages — while receivers block with an optional
-// timeout.
-type Mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Message
-	closed bool
+// OverflowPolicy selects what a bounded mailbox does when one sender's
+// queue is full. The policy is per sender: a fast (or Byzantine) peer can
+// only ever fill its own quota, never displace another peer's frames.
+type OverflowPolicy uint8
+
+const (
+	// Backpressure blocks the producer until the sender's queue has room
+	// (or the mailbox closes). On TCP this is the natural policy: the
+	// reader goroutine stops reading the socket, the kernel window fills,
+	// and the remote Send blocks — per connection, never cluster-wide.
+	Backpressure OverflowPolicy = iota
+	// DropNewest discards the incoming message, keeping what is queued.
+	DropNewest
+	// DropOldest discards the sender's oldest queued message to admit the
+	// incoming one — the semantically correct choice for this protocol's
+	// traffic, where a newer frame from the same sender supersedes an older
+	// one (a step-t−1 vector the receiver has not consumed yet is already
+	// stale the moment step t's arrives).
+	DropOldest
+)
+
+// String returns the spec name of the policy.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case Backpressure:
+		return "backpressure"
+	case DropNewest:
+		return "drop-newest"
+	case DropOldest:
+		return "drop-oldest"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
 }
 
-// NewMailbox returns an empty open mailbox.
-func NewMailbox() *Mailbox {
-	m := &Mailbox{}
-	m.cond = sync.NewCond(&m.mu)
+// ParsePolicy resolves a policy spec name.
+func ParsePolicy(s string) (OverflowPolicy, error) {
+	switch strings.TrimSpace(s) {
+	case "backpressure", "block":
+		return Backpressure, nil
+	case "drop-newest", "dropnewest":
+		return DropNewest, nil
+	case "drop-oldest", "dropoldest":
+		return DropOldest, nil
+	default:
+		return 0, fmt.Errorf("transport: unknown overflow policy %q (want backpressure | drop-newest | drop-oldest)", s)
+	}
+}
+
+// DefaultMailboxCap is the per-sender queue bound used when a spec names a
+// policy without a cap. Each slot holds one frame, so the worst-case
+// buffered payload per peer is Cap × frame size — at the harness dimension
+// (2,726 float64 coordinates) 128 slots ≈ 2.8 MiB per peer.
+const DefaultMailboxCap = 128
+
+// MailboxConfig bounds a mailbox. The zero value is the unbounded
+// "senders never block" mailbox the asynchronous model permits — correct
+// for the paper's proofs, and exactly the resource-exhaustion surface a
+// live deployment cannot afford (see DESIGN.md, "Actor runtime").
+type MailboxConfig struct {
+	// Cap is the per-sender queue bound; 0 means unbounded.
+	Cap int
+	// Policy selects the overflow behaviour when Cap is positive.
+	Policy OverflowPolicy
+}
+
+// Bounded reports whether the config actually bounds the mailbox.
+func (c MailboxConfig) Bounded() bool { return c.Cap > 0 }
+
+// Validate rejects negative caps and unknown policies.
+func (c MailboxConfig) Validate() error {
+	if c.Cap < 0 {
+		return fmt.Errorf("transport: negative mailbox cap %d", c.Cap)
+	}
+	if c.Policy > DropOldest {
+		return fmt.Errorf("transport: unknown overflow policy %d", c.Policy)
+	}
+	return nil
+}
+
+// String renders the config in spec syntax (round-trips ParseMailboxSpec).
+func (c MailboxConfig) String() string {
+	if !c.Bounded() {
+		return "none"
+	}
+	return fmt.Sprintf("%s:cap=%d", c.Policy, c.Cap)
+}
+
+// ParseMailboxSpec parses the -mailbox flag syntax: "none" (unbounded) or
+// "policy[:cap=N]" with policy ∈ {backpressure, drop-newest, drop-oldest}
+// and N defaulting to DefaultMailboxCap.
+func ParseMailboxSpec(spec string) (MailboxConfig, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" || spec == "unbounded" {
+		return MailboxConfig{}, nil
+	}
+	name, rest, hasArgs := strings.Cut(spec, ":")
+	policy, err := ParsePolicy(name)
+	if err != nil {
+		return MailboxConfig{}, err
+	}
+	cfg := MailboxConfig{Cap: DefaultMailboxCap, Policy: policy}
+	if hasArgs {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok || k != "cap" {
+				return MailboxConfig{}, fmt.Errorf("transport: bad mailbox spec %q (want policy[:cap=N])", spec)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return MailboxConfig{}, fmt.Errorf("transport: bad mailbox cap %q (want a positive integer)", v)
+			}
+			cfg.Cap = n
+		}
+	}
+	return cfg, nil
+}
+
+// mailEntry is one queued message, linked into two intrusive lists: the
+// global arrival-order chain (what Recv walks) and its sender's chain
+// (what DropOldest evicts from).
+type mailEntry struct {
+	msg          Message
+	prev, next   *mailEntry // global arrival order
+	pprev, pnext *mailEntry // per-sender order
+	peer         *peerQueue
+}
+
+// peerQueue is one sender's view of the mailbox: its queued-entry count
+// against the cap and the ends of its per-sender chain.
+type peerQueue struct {
+	count          int
+	oldest, newest *mailEntry
+}
+
+// Mailbox is a closable message queue with per-sender bounding. Receivers
+// always see messages in true arrival order — the property the quorum
+// discipline is built on — while each sender's standing in the queue is
+// capped independently, so a fast or Byzantine peer saturates its own
+// quota and nothing else.
+//
+// The zero-config mailbox (NewMailbox) is unbounded and never blocks
+// senders, matching the asynchronous model's reliable network. A bounded
+// mailbox (NewMailboxWith) applies its OverflowPolicy per sender.
+type Mailbox struct {
+	mu       sync.Mutex
+	recvCond *sync.Cond // signalled on enqueue and close
+	sendCond *sync.Cond // broadcast on dequeue and close (Backpressure waiters)
+	cfg      MailboxConfig
+
+	head, tail *mailEntry
+	length     int
+	peers      map[string]*peerQueue
+	closed     bool
+
+	droppedOverflow uint64 // messages lost to a full per-sender queue
+	droppedClosed   uint64 // messages put after Close
+}
+
+// NewMailbox returns an empty open unbounded mailbox.
+func NewMailbox() *Mailbox { return NewMailboxWith(MailboxConfig{}) }
+
+// NewMailboxWith returns an empty open mailbox with the given bounds.
+func NewMailboxWith(cfg MailboxConfig) *Mailbox {
+	m := &Mailbox{cfg: cfg, peers: make(map[string]*peerQueue)}
+	m.recvCond = sync.NewCond(&m.mu)
+	m.sendCond = sync.NewCond(&m.mu)
 	return m
 }
 
-// Put enqueues a message. Messages put after Close are dropped (the node has
-// left the computation).
+// SetConfig replaces the mailbox bounds. The config is consulted only at
+// Put time, so reconfiguring an idle mailbox (e.g. right after ListenTCP,
+// before peers connect) is safe; already-queued messages are kept even if
+// they exceed a newly lowered cap.
+func (m *Mailbox) SetConfig(cfg MailboxConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cfg = cfg
+	m.sendCond.Broadcast() // a raised cap may unblock Backpressure waiters
+	return nil
+}
+
+// Config returns the current bounds.
+func (m *Mailbox) Config() MailboxConfig {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg
+}
+
+// Put enqueues a message keyed by its From field. Messages put after Close
+// are dropped and counted under DroppedClosed (the node has left the
+// computation, but the loss stays observable). When the sender's queue is
+// at the cap, the overflow policy decides: Backpressure blocks until the
+// queue drains or the mailbox closes; DropNewest discards msg; DropOldest
+// evicts the sender's oldest queued message to admit msg. Every overflow
+// discard increments DroppedOverflow.
 func (m *Mailbox) Put(msg Message) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
+		m.droppedClosed++
 		return
 	}
-	m.queue = append(m.queue, msg)
-	m.cond.Signal()
+	pq := m.peers[msg.From]
+	if pq == nil {
+		pq = &peerQueue{}
+		m.peers[msg.From] = pq
+	}
+	if m.cfg.Bounded() && pq.count >= m.cfg.Cap {
+		switch m.cfg.Policy {
+		case Backpressure:
+			for pq.count >= m.cfg.Cap && m.cfg.Bounded() && !m.closed {
+				m.sendCond.Wait()
+			}
+			if m.closed {
+				m.droppedClosed++
+				return
+			}
+		case DropNewest:
+			m.droppedOverflow++
+			return
+		case DropOldest:
+			m.unlink(pq.oldest)
+			m.droppedOverflow++
+		}
+	}
+	e := &mailEntry{msg: msg, peer: pq}
+	if m.tail == nil {
+		m.head, m.tail = e, e
+	} else {
+		e.prev = m.tail
+		m.tail.next = e
+		m.tail = e
+	}
+	if pq.newest == nil {
+		pq.oldest, pq.newest = e, e
+	} else {
+		e.pprev = pq.newest
+		pq.newest.pnext = e
+		pq.newest = e
+	}
+	pq.count++
+	m.length++
+	m.recvCond.Signal()
 }
 
-// Recv dequeues the oldest message, blocking until one is available, the
-// timeout elapses, or the mailbox is closed. A negative timeout blocks
-// indefinitely. The boolean is false on timeout or closure.
+// unlink removes e from both chains and the accounting. Caller holds mu.
+func (m *Mailbox) unlink(e *mailEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		m.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		m.tail = e.prev
+	}
+	pq := e.peer
+	if e.pprev != nil {
+		e.pprev.pnext = e.pnext
+	} else {
+		pq.oldest = e.pnext
+	}
+	if e.pnext != nil {
+		e.pnext.pprev = e.pprev
+	} else {
+		pq.newest = e.pprev
+	}
+	pq.count--
+	m.length--
+}
+
+// Recv dequeues the oldest message across all senders, blocking until one
+// is available, the timeout elapses, or the mailbox is closed. A negative
+// timeout blocks indefinitely. The boolean is false on timeout or closure;
+// a closed mailbox still drains its queued messages first.
 func (m *Mailbox) Recv(timeout time.Duration) (Message, bool) {
 	var deadline time.Time
 	if timeout >= 0 {
@@ -45,9 +295,9 @@ func (m *Mailbox) Recv(timeout time.Duration) (Message, bool) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
+	for m.head == nil && !m.closed {
 		if timeout < 0 {
-			m.cond.Wait()
+			m.recvCond.Wait()
 			continue
 		}
 		remaining := time.Until(deadline)
@@ -56,29 +306,59 @@ func (m *Mailbox) Recv(timeout time.Duration) (Message, bool) {
 		}
 		timer := time.AfterFunc(remaining, func() {
 			m.mu.Lock()
-			m.cond.Broadcast()
+			m.recvCond.Broadcast()
 			m.mu.Unlock()
 		})
-		m.cond.Wait()
+		m.recvCond.Wait()
 		timer.Stop()
 	}
-	if len(m.queue) == 0 {
+	if m.head == nil {
 		return Message{}, false // closed and drained
 	}
-	msg := m.queue[0]
-	m.queue = m.queue[1:]
-	return msg, true
+	e := m.head
+	m.unlink(e)
+	if m.cfg.Policy == Backpressure {
+		m.sendCond.Broadcast()
+	}
+	return e.msg, true
 }
 
-// Len returns the number of queued messages.
+// Len returns the number of queued messages across all senders.
 func (m *Mailbox) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue)
+	return m.length
 }
 
-// Close marks the mailbox closed and wakes all blocked receivers. Closing
-// twice is a no-op.
+// PeerLen returns how many messages the named sender has queued.
+func (m *Mailbox) PeerLen(from string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if pq := m.peers[from]; pq != nil {
+		return pq.count
+	}
+	return 0
+}
+
+// DroppedOverflow returns how many messages were discarded because a
+// sender's queue was at its cap (DropNewest and DropOldest evictions both
+// count; Backpressure never overflows). Exposed for tests and monitoring.
+func (m *Mailbox) DroppedOverflow() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.droppedOverflow
+}
+
+// DroppedClosed returns how many messages were put after Close — frames
+// that raced a node's shutdown and would otherwise vanish silently.
+func (m *Mailbox) DroppedClosed() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.droppedClosed
+}
+
+// Close marks the mailbox closed and wakes all blocked receivers and
+// Backpressure waiters. Closing twice is a no-op.
 func (m *Mailbox) Close() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -86,5 +366,6 @@ func (m *Mailbox) Close() {
 		return
 	}
 	m.closed = true
-	m.cond.Broadcast()
+	m.recvCond.Broadcast()
+	m.sendCond.Broadcast()
 }

@@ -124,6 +124,24 @@ func (n *TCPNode) DroppedUnnegotiated() uint64 { return atomic.LoadUint64(&n.unn
 // SetCompression bound.
 func (n *TCPNode) DroppedMalformed() uint64 { return atomic.LoadUint64(&n.malformed) }
 
+// DroppedOverflow returns how many inbound frames the bounded mailbox
+// discarded under a drop policy (see SetMailbox).
+func (n *TCPNode) DroppedOverflow() uint64 { return n.box.DroppedOverflow() }
+
+// DroppedClosed returns how many inbound frames arrived after Close and
+// were discarded by the mailbox — frames that raced the node's shutdown.
+func (n *TCPNode) DroppedClosed() uint64 { return n.box.DroppedClosed() }
+
+// SetMailbox bounds the node's inbound mailbox per sender. With
+// Backpressure, a full per-sender queue blocks that connection's readLoop:
+// the socket stops being read, the kernel window fills, and the remote's
+// Send blocks — flow control per connection, exactly as a production RPC
+// channel behaves, never cluster-wide. With a drop policy the readLoop
+// keeps draining the socket and the mailbox sheds that sender's frames,
+// counted under DroppedOverflow. The zero config restores the unbounded
+// mailbox. Like SetCompression, call it between ListenTCP and traffic.
+func (n *TCPNode) SetMailbox(cfg MailboxConfig) error { return n.box.SetConfig(cfg) }
+
 // SetCompression configures outbound payload compression and the inbound
 // declared-dimension bound. Call it after ListenTCP and before the first
 // Send: the capability mask rides the hello frame, so connections opened
