@@ -51,6 +51,8 @@ func run(args []string, out io.Writer) error {
 		wireChk  = fs.String("wire-check", "", "re-measure the bandwidth wire rows and compare byte counts against this committed BENCH_wire.json, then exit")
 		mbox     = fs.String("mailbox", "", "scale experiment only: mailbox bound for the live rows, policy[:cap=N] (default drop-oldest at the transport cap)")
 		scaleOut = fs.String("scale-json", "", "scale experiment only: also write the sweep rows to this file (commit as BENCH_scale.json)")
+		metrics  = fs.String("metrics", "", "soak experiment only: serve /metrics + /healthz on this address for the run's duration (e.g. 127.0.0.1:9464)")
+		linger   = fs.Duration("linger", 0, "soak experiment only: keep the -metrics listener up this long after the run, for external scrapers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +128,16 @@ func run(args []string, out io.Writer) error {
 				}
 				fmt.Fprintf(out, "wrote %d scale rows to %s\n", len(r.Rows), *scaleOut)
 			}
+			return nil
+		}
+		if id == "soak" {
+			// Routed here rather than through RunExperiment so -smoke picks the
+			// CI sizing and -metrics/-linger expose the live registry.
+			r, err := guanyu.Soak(scale, *smoke, *metrics, *linger)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, r.Format())
 			return nil
 		}
 		if id == "memory" && *shard > 0 {

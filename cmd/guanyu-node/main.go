@@ -57,6 +57,7 @@ type nodeConfig struct {
 	shardSize int
 	compress  string
 	mailbox   string
+	metrics   string
 }
 
 func parseFlags(args []string) (*nodeConfig, error) {
@@ -82,6 +83,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		shard    = fs.Int("shard", 0, "stream vectors as chunk frames of this many coordinates (0 = whole-vector framing; arm every node identically)")
 		comp     = fs.String("compress", "none", "wire compression for THIS node's sends: none | float32 | delta[:key=N] | topk:k=F (negotiated per connection; plain peers drop un-negotiated frames)")
 		mbox     = fs.String("mailbox", "none", "bound THIS node's inbound mailbox per sender, none | policy[:cap=N] with policy backpressure | drop-newest | drop-oldest")
+		metrics  = fs.String("metrics", "", "serve THIS node's /metrics + /healthz on this address for the process's lifetime (e.g. 127.0.0.1:9464, or :0 for an ephemeral port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -105,7 +107,7 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		fServers: *fServers, fWorkers: *fWorkers,
 		steps: *steps, batch: *batch, seed: *seed, examples: *examples,
 		byzMode: *byzMode, faultSpec: *faultSpec, ckptPath: *ckpt, timeout: *timeout,
-		shardSize: *shard, compress: *comp, mailbox: *mbox,
+		shardSize: *shard, compress: *comp, mailbox: *mbox, metrics: *metrics,
 	}, nil
 }
 
@@ -194,6 +196,10 @@ func run(args []string, out io.Writer) error {
 		OnListen: func(addr string) {
 			fmt.Fprintf(out, "%s listening on %s (%d servers, %d workers)\n",
 				cfg.id, addr, len(servers), len(workers))
+		},
+		MetricsAddr: cfg.metrics,
+		OnMetricsListen: func(addr string) {
+			fmt.Fprintf(out, "%s metrics on http://%s/metrics\n", cfg.id, addr)
 		},
 	})
 	if err != nil {

@@ -8,6 +8,8 @@
 //	guanyu-train -mode vanilla -byz-workers 1 -attack random
 //	guanyu-train -mode guanyu -byz-workers 5 -byz-servers 1 -attack signflip
 //	guanyu-train -mode guanyu -runtime live -steps 50
+//	guanyu-train -runtime live -metrics 127.0.0.1:9464 -mailbox drop-oldest
+//	guanyu-train -soak -metrics 127.0.0.1:9464
 package main
 
 import (
@@ -51,11 +53,24 @@ func run(args []string, out io.Writer) error {
 		shard     = fs.Int("shard", 0, "live runtime only: stream vectors as chunk frames of this many coordinates (0 = whole-vector framing; results are identical)")
 		comp      = fs.String("compress", "none", "wire compression for honest traffic: none | float32 | delta[:key=N] | topk:k=F")
 		mbox      = fs.String("mailbox", "none", "live runtime only: bound inbound mailboxes per sender, none | policy[:cap=N] with policy backpressure | drop-newest | drop-oldest")
+		soak      = fs.Bool("soak", false, "run the long-haul soak instead of one training run: thousands of live steps under flaky faults and an equivocating server, self-checking counters, liveness and memory")
+		metrics   = fs.String("metrics", "", "serve /metrics + /healthz on this address (live runtime or -soak; e.g. 127.0.0.1:9464)")
+		linger    = fs.Duration("linger", 0, "-soak only: keep the -metrics listener up this long after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	guanyu.SetParallelism(*parallel)
+
+	if *soak {
+		scale := guanyu.ExperimentScale{Batch: *batch, Examples: *examples, Seed: *seed}
+		r, err := guanyu.Soak(scale, false, *metrics, *linger)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Format())
+		return nil
+	}
 
 	opts := []guanyu.Option{
 		guanyu.WithWorkload(guanyu.ImageWorkload(*examples, *seed)),
@@ -96,6 +111,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if *mbox != "" {
 		opts = append(opts, guanyu.WithMailboxSpec(*mbox))
+	}
+	if *metrics != "" {
+		opts = append(opts, guanyu.WithMetricsAddr(*metrics, func(addr string) {
+			fmt.Fprintf(out, "metrics listening on %s\n", addr)
+		}))
 	}
 
 	mk, err := guanyu.AttackByName(*attackName, *seed)

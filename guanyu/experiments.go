@@ -2,6 +2,7 @@ package guanyu
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -192,3 +193,17 @@ func ScaleSweep(s ExperimentScale, smoke bool, mbox MailboxConfig) (*ScaleSweepR
 // ScaleBenchJSON serialises scale sweep rows for committing as
 // BENCH_scale.json (timings machine-dependent, informational baseline).
 func ScaleBenchJSON(r *ScaleSweepResult) ([]byte, error) { return experiments.ScaleBenchJSON(r) }
+
+// SoakResult is one soak run's measurements and verdicts.
+type SoakResult = experiments.SoakResult
+
+// Soak runs the long-haul live deployment — an equivocating server, the
+// "flaky" fault profile on every link, bounded drop-oldest mailboxes — while
+// self-scraping its live metrics registry and checking counter
+// monotonicity, full liveness, and the scale experiment's peak-heap budget.
+// smoke selects the CI sizing. When metricsAddr is non-empty a /metrics +
+// /healthz listener serves the run's registry and stays up linger after the
+// run finishes, so external scrapers can read the final counters.
+func Soak(s ExperimentScale, smoke bool, metricsAddr string, linger time.Duration) (*SoakResult, error) {
+	return experiments.Soak(s, smoke, metricsAddr, linger)
+}

@@ -85,6 +85,9 @@ type Deployment struct {
 	compression compress.Config
 	mailbox     transport.MailboxConfig
 
+	metricsAddr     string
+	onMetricsListen func(addr string)
+
 	parallelism    int
 	parallelismSet bool
 }
@@ -202,6 +205,9 @@ func (d *Deployment) normalize() error {
 	}
 	if d.mailbox.Bounded() && d.runtime != Live {
 		return fmt.Errorf("WithMailbox applies to the Live runtime only (virtual time admits no overflow to bound)")
+	}
+	if d.metricsAddr != "" && d.runtime != Live {
+		return fmt.Errorf("WithMetricsAddr applies to the Live runtime only (the simulator has no wall-clock run to scrape)")
 	}
 	return nil
 }

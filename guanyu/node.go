@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	igar "repro/internal/gar"
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 )
@@ -87,6 +88,15 @@ type NodeConfig struct {
 	// node is reachable — the hook deployment scripts use to publish
 	// address books.
 	OnListen func(addr string)
+	// MetricsAddr, when non-empty, starts a /metrics + /healthz HTTP
+	// listener on that address for this node's lifetime: live Prometheus
+	// counters for every hardening drop class plus a quorum-liveness
+	// health verdict (see WithMetricsAddr for the exposition). Use ":0"
+	// for an ephemeral port; OnMetricsListen reports the bound address.
+	MetricsAddr string
+	// OnMetricsListen, when non-nil, receives the metrics listener's
+	// bound address once it is up.
+	OnMetricsListen func(addr string)
 }
 
 // NodeResult is the outcome of one node's run.
@@ -185,6 +195,23 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 		return nil, err
 	}
 	defer node.Close()
+	// The node's live ops surface: one registry handle that the transport,
+	// couriers and the node loop all publish into, optionally exposed over
+	// HTTP for the process's lifetime.
+	reg := metrics.NewRegistry()
+	handle := reg.Node(cfg.ID)
+	node.SetMetrics(handle)
+	handle.SetAddr(node.Addr())
+	if cfg.MetricsAddr != "" {
+		srv, err := metrics.Serve(cfg.MetricsAddr, reg, metrics.DefaultStallAfter)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		if cfg.OnMetricsListen != nil {
+			cfg.OnMetricsListen(srv.Addr())
+		}
+	}
 	if comp.Enabled() {
 		// Before AddPeer: the capability mask rides the hello frame, and the
 		// model dimension bounds inbound compressed expansions.
@@ -201,7 +228,9 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 	if mbox.Bounded() {
 		// Per-link couriers decouple this node's broadcast loop from its
 		// slowest peer; closing the courier wrapper flushes queued frames.
-		ep = transport.NewCouriers(ep, mbox)
+		c := transport.NewCouriers(ep, mbox)
+		c.SetMetrics(handle)
+		ep = c
 	}
 	// Closing the wrapper first flushes reorder-held and delay-spiked
 	// messages before the sockets go away: this process may be the last
@@ -248,6 +277,7 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			Timeout:         timeout,
 			Attack:          cfg.Attack,
 			ShardSize:       cfg.ShardSize,
+			Metrics:         handle,
 		})
 		if err != nil {
 			return nil, wrapCancelled(ctx, err)
@@ -273,6 +303,7 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			Timeout:      timeout,
 			Attack:       cfg.Attack,
 			ShardSize:    cfg.ShardSize,
+			Metrics:      handle,
 		})
 		if err != nil {
 			return nil, wrapCancelled(ctx, err)

@@ -289,6 +289,27 @@ func WithTimeout(t time.Duration) Option {
 	}
 }
 
+// WithMetricsAddr starts a /metrics + /healthz HTTP listener on addr for
+// the duration of the Live run: GET /metrics returns every node's live
+// hardening counters in Prometheus text format (guanyu_*_total families,
+// plus guanyu_node_info carrying each TCP node's listen address), and GET
+// /healthz reports 200 while every node keeps making quorum progress, 503
+// once one stalls. Use ":0" (or "127.0.0.1:0") to bind an ephemeral port;
+// the optional onListen callback receives the bound address once the
+// listener is up, before the first node starts.
+func WithMetricsAddr(addr string, onListen ...func(addr string)) Option {
+	return func(d *Deployment) error {
+		if addr == "" {
+			return fmt.Errorf("guanyu: empty metrics address")
+		}
+		d.metricsAddr = addr
+		if len(onListen) > 0 {
+			d.onMetricsListen = onListen[0]
+		}
+		return nil
+	}
+}
+
 // WithDelay injects per-message delivery delays into the Live in-process
 // network (see NewLatencyModel for a realistic generator).
 func WithDelay(f DelayFunc) Option {

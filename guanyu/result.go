@@ -45,6 +45,21 @@ type Result struct {
 	ServerParams map[int][]float64
 	// WallTime is the real elapsed time of the run. Live only.
 	WallTime time.Duration
+
+	// DroppedOverflow totals the frames shed by bounded mailboxes across
+	// the deployment — inbound per-sender evictions plus outbound courier
+	// evictions. Live only; zero when nothing overflowed.
+	DroppedOverflow uint64
+	// DroppedClosed totals frames that arrived at nodes after they had
+	// shut down (senders outliving receivers). Live only.
+	DroppedClosed uint64
+	// ForgedDropped totals inbound frames dropped because their From
+	// field disagreed with the connection's hello-authenticated identity.
+	// Live TCP only.
+	ForgedDropped uint64
+	// DroppedUnnegotiated totals inbound compressed frames dropped for
+	// using a scheme their sender never negotiated. Live TCP only.
+	DroppedUnnegotiated uint64
 }
 
 // CurveTable renders the convergence curve as the experiment harness's

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	igar "repro/internal/gar"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 	"repro/internal/transport"
@@ -93,15 +94,36 @@ type liveRunner struct{}
 
 func (liveRunner) String() string { return "live" }
 
+// liveDrops carries a live run's deployment-wide drop totals into the
+// Result — the counters that used to be discarded at this boundary.
+type liveDrops struct {
+	overflow, closed, forged, unnegotiated uint64
+}
+
 func (liveRunner) Run(ctx context.Context, d *Deployment) (*Result, error) {
 	start := time.Now()
+	// Every live run gets a registry — the per-node handles cost a few
+	// atomics per event — and WithMetricsAddr additionally exposes it
+	// over HTTP for the run's duration.
+	reg := metrics.NewRegistry()
+	if d.metricsAddr != "" {
+		srv, serr := metrics.Serve(d.metricsAddr, reg, metrics.DefaultStallAfter)
+		if serr != nil {
+			return nil, serr
+		}
+		defer srv.Close()
+		if d.onMetricsListen != nil {
+			d.onMetricsListen(srv.Addr())
+		}
+	}
 	var (
 		final        tensor.Vector
 		serverParams map[int]tensor.Vector
+		drops        liveDrops
 		err          error
 	)
 	if d.tcp {
-		final, serverParams, err = runLiveTCP(ctx, d)
+		final, serverParams, drops, err = runLiveTCP(ctx, d, reg)
 	} else {
 		cfg := cluster.LiveConfig{
 			Model:         d.workload.Model,
@@ -128,22 +150,28 @@ func (liveRunner) Run(ctx context.Context, d *Deployment) (*Result, error) {
 			ShardSize:     d.shardSize,
 			Compression:   d.compression,
 			Mailbox:       d.mailbox,
+			Metrics:       reg,
 		}
 		var res *cluster.LiveResult
 		res, err = cluster.RunLiveContext(ctx, cfg)
 		if err == nil {
 			final, serverParams = res.Final, res.ServerParams
+			drops.overflow, drops.closed = res.DroppedOverflow, res.DroppedClosed
 		}
 	}
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{
-		Runtime:      Live.String(),
-		Final:        final,
-		ServerParams: serverParams,
-		Updates:      d.steps,
-		WallTime:     time.Since(start),
+		Runtime:             Live.String(),
+		Final:               final,
+		ServerParams:        serverParams,
+		Updates:             d.steps,
+		WallTime:            time.Since(start),
+		DroppedOverflow:     drops.overflow,
+		DroppedClosed:       drops.closed,
+		ForgedDropped:       drops.forged,
+		DroppedUnnegotiated: drops.unnegotiated,
 	}
 	if d.workload.Test != nil {
 		eval := d.workload.Model.Clone()
@@ -158,7 +186,10 @@ func (liveRunner) Run(ctx context.Context, d *Deployment) (*Result, error) {
 // runLiveTCP executes the deployment as one node per goroutine over real
 // loopback TCP sockets — the in-process equivalent of the paper's testbed,
 // where every node is its own OS process (see RunNode for that shape).
-func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tensor.Vector, error) {
+// Every node publishes into reg, so a WithMetricsAddr scraper watches the
+// run live; the returned liveDrops are the end-of-run totals.
+func runLiveTCP(ctx context.Context, d *Deployment, reg *metrics.Registry) (
+	tensor.Vector, map[int]tensor.Vector, liveDrops, error) {
 	n := d.numServers + d.numWorkers
 	serverIDs := make([]string, d.numServers)
 	for i := range serverIDs {
@@ -194,13 +225,13 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 	for _, id := range append(append([]string{}, serverIDs...), workerIDs...) {
 		node, err := transport.ListenTCP(id, "127.0.0.1:0", nil)
 		if err != nil {
-			return nil, nil, fmt.Errorf("guanyu: listen %s: %w", id, err)
+			return nil, nil, liveDrops{}, fmt.Errorf("guanyu: listen %s: %w", id, err)
 		}
 		if d.compression.Enabled() && !byzantine[id] {
 			// Before AddPeer: the capability mask rides the hello frame.
 			if err := node.SetCompression(d.compression, dim); err != nil {
 				node.Close()
-				return nil, nil, fmt.Errorf("guanyu: compression %s: %w", id, err)
+				return nil, nil, liveDrops{}, fmt.Errorf("guanyu: compression %s: %w", id, err)
 			}
 		}
 		if d.mailbox.Bounded() {
@@ -208,9 +239,15 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 			// Byzantine included — gets it, matching the in-process runtime.
 			if err := node.SetMailbox(d.mailbox); err != nil {
 				node.Close()
-				return nil, nil, fmt.Errorf("guanyu: mailbox %s: %w", id, err)
+				return nil, nil, liveDrops{}, fmt.Errorf("guanyu: mailbox %s: %w", id, err)
 			}
 		}
+		// Attach the registry handle before any peer can connect, so the
+		// live counters are complete from the first frame; the address
+		// rides /metrics as guanyu_node_info{node,addr}.
+		h := reg.Node(id)
+		node.SetMetrics(h)
+		h.SetAddr(node.Addr())
 		nodes[id] = node
 		addrs[id] = node.Addr()
 	}
@@ -218,7 +255,7 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 		for id, addr := range addrs {
 			if id != node.ID() {
 				if err := node.AddPeer(id, addr); err != nil {
-					return nil, nil, fmt.Errorf("guanyu: peer %s→%s: %w", node.ID(), id, err)
+					return nil, nil, liveDrops{}, fmt.Errorf("guanyu: peer %s→%s: %w", node.ID(), id, err)
 				}
 			}
 		}
@@ -254,10 +291,11 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 		theta tensor.Vector
 	}
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		outs    []serverOut
-		runErrs []error
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		outs     []serverOut
+		runErrs  []error
+		couriers []*transport.Couriers
 	)
 	for i := 0; i < d.numServers; i++ {
 		peers := make([]string, 0, d.numServers-1)
@@ -282,6 +320,7 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 			Momentum:        d.momentum,
 			View:            serverView,
 			ShardSize:       d.shardSize,
+			Metrics:         reg.Node(serverIDs[i]),
 		}
 		if scfg.Attack == nil {
 			scfg.Suspicion = d.suspicion
@@ -294,7 +333,10 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 			// couriers on top, so the node loop never blocks on a slow link.
 			sep = d.faults.Wrap(sep)
 			if d.mailbox.Bounded() {
-				sep = transport.NewCouriers(sep, d.mailbox)
+				c := transport.NewCouriers(sep, d.mailbox)
+				c.SetMetrics(scfg.Metrics)
+				couriers = append(couriers, c)
+				sep = c
 			}
 		}
 		wg.Add(1)
@@ -330,12 +372,16 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 			Attack:       d.workerAttacks[j],
 			View:         workerView,
 			ShardSize:    d.shardSize,
+			Metrics:      reg.Node(workerIDs[j]),
 		}
 		var wep transport.Endpoint = nodes[wcfg.ID]
 		if wcfg.Attack == nil {
 			wep = d.faults.Wrap(wep)
 			if d.mailbox.Bounded() {
-				wep = transport.NewCouriers(wep, d.mailbox)
+				c := transport.NewCouriers(wep, d.mailbox)
+				c.SetMetrics(wcfg.Metrics)
+				couriers = append(couriers, c)
+				wep = c
 			}
 		}
 		wg.Add(1)
@@ -350,15 +396,28 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 		}()
 	}
 	wg.Wait()
+	// Every node goroutine (and courier flush) is done: the drop totals
+	// are final. Summed from the transport accessors, they equal what the
+	// registry mirrored — the same numbers a /metrics scrape reports.
+	var drops liveDrops
+	for _, node := range nodes {
+		drops.overflow += node.DroppedOverflow()
+		drops.closed += node.DroppedClosed()
+		drops.forged += node.ForgedDropped()
+		drops.unnegotiated += node.DroppedUnnegotiated()
+	}
+	for _, c := range couriers {
+		drops.overflow += c.DroppedOverflow()
+	}
 	if err := ctx.Err(); err != nil {
-		return nil, nil, fmt.Errorf("guanyu: live TCP run cancelled: %w", err)
+		return nil, nil, liveDrops{}, fmt.Errorf("guanyu: live TCP run cancelled: %w", err)
 	}
 	if len(runErrs) > 0 {
-		return nil, nil, fmt.Errorf("guanyu: live TCP run failed: %w (and %d more)",
+		return nil, nil, liveDrops{}, fmt.Errorf("guanyu: live TCP run failed: %w (and %d more)",
 			runErrs[0], len(runErrs)-1)
 	}
 	if len(outs) == 0 {
-		return nil, nil, fmt.Errorf("guanyu: no honest server completed")
+		return nil, nil, liveDrops{}, fmt.Errorf("guanyu: no honest server completed")
 	}
 	serverParams := make(map[int]tensor.Vector, len(outs))
 	finals := make([]tensor.Vector, 0, len(outs))
@@ -368,7 +427,7 @@ func runLiveTCP(ctx context.Context, d *Deployment) (tensor.Vector, map[int]tens
 	}
 	final, err := igar.Median{}.Aggregate(finals)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, liveDrops{}, err
 	}
-	return final, serverParams, nil
+	return final, serverParams, drops, nil
 }

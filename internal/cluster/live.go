@@ -10,6 +10,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/gar"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/stats"
 	"repro/internal/tensor"
@@ -98,6 +99,11 @@ type LiveConfig struct {
 	// overflow-free schedules are byte-for-byte unaffected by the policy
 	// chosen. Drops are counted in LiveResult.DroppedOverflow.
 	Mailbox transport.MailboxConfig
+	// Metrics, when non-nil, receives one live handle per node: every
+	// mailbox, courier and collector counter is mirrored into it as it
+	// increments, and node loops publish step/liveness progress — the
+	// registry a /metrics + /healthz listener scrapes mid-run.
+	Metrics *metrics.Registry
 }
 
 // Validate checks the deployment against the theoretical requirements of the
@@ -240,7 +246,7 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 		courierMu sync.Mutex
 		couriers  []*transport.Couriers
 	)
-	wrapHonest := func(ep transport.Endpoint) (transport.Endpoint, error) {
+	wrapHonest := func(ep transport.Endpoint, h *metrics.NodeMetrics) (transport.Endpoint, error) {
 		if cfg.Compression.Enabled() {
 			c, err := transport.NewCompressor(ep, cfg.Compression, len(theta0))
 			if err != nil {
@@ -251,12 +257,25 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 		ep = cfg.Faults.Wrap(ep)
 		if cfg.Mailbox.Bounded() {
 			c := transport.NewCouriers(ep, cfg.Mailbox)
+			if h != nil {
+				c.SetMetrics(h)
+			}
 			courierMu.Lock()
 			couriers = append(couriers, c)
 			courierMu.Unlock()
 			ep = c
 		}
 		return ep, nil
+	}
+
+	// nodeHandle hands out (and wires up) one registry handle per node.
+	nodeHandle := func(id string) *metrics.NodeMetrics {
+		if cfg.Metrics == nil {
+			return nil
+		}
+		h := cfg.Metrics.Node(id)
+		network.SetNodeMetrics(id, h)
+		return h
 	}
 
 	// Omniscient attacks get one shared view per message class: honest
@@ -318,6 +337,7 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 			Momentum:        cfg.Momentum,
 			View:            serverView,
 			ShardSize:       cfg.ShardSize,
+			Metrics:         nodeHandle(serverIDs[i]),
 		}
 		if scfg.Attack == nil {
 			scfg.Suspicion = cfg.Suspicion // honest servers report exclusions
@@ -329,7 +349,7 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 			// Faults and compression hit honest traffic only — the
 			// adversary's covert network is ideal by assumption, exactly as
 			// in the simulator.
-			sep, err = wrapHonest(ep)
+			sep, err = wrapHonest(ep, scfg.Metrics)
 			if err != nil {
 				return nil, err
 			}
@@ -370,10 +390,11 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 			Attack:       cfg.WorkerAttacks[j],
 			View:         workerView,
 			ShardSize:    cfg.ShardSize,
+			Metrics:      nodeHandle(workerIDs[j]),
 		}
 		wep := ep
 		if wcfg.Attack == nil {
-			wep, err = wrapHonest(ep)
+			wep, err = wrapHonest(ep, wcfg.Metrics)
 			if err != nil {
 				return nil, err
 			}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/gar"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/stats"
 	"repro/internal/tensor"
@@ -87,25 +88,50 @@ func collectStreamed(col *transport.ShardCollector, kind transport.Kind, step, q
 	return senders, kept, out, nil
 }
 
-// NodeStats snapshots a node's inbound hardening counters when its run
-// ends. The transport layer counts what it sheds (forged, un-negotiated,
-// overflowed frames — see TCPNode and Mailbox); these are the layer above:
-// what the quorum collector discarded after the transport let it through.
-// Attach one per node via ServerConfig.Stats / WorkerConfig.Stats; the node
-// fills it exactly once, when its loop returns.
+// NodeStats is the unified per-node hardening counter snapshot a run
+// leaves behind: the quorum-collector drops (what validation discarded
+// after the transport let it through), the transport-level drops (what
+// the TCP read loop and the bounded mailbox shed before the collector
+// ever saw it), and the node's progress. Attach one per node via
+// ServerConfig.Stats / WorkerConfig.Stats; the node fills it when its
+// loop returns — on success or error — and, when a Metrics handle is
+// attached, the same values are readable live at any moment through
+// the handle (NodeStats is then just its final reading).
 type NodeStats struct {
 	// DroppedFuture counts messages discarded for claiming a step beyond
 	// the collector's buffering horizon (step-spraying senders).
 	DroppedFuture int
 	// DroppedMalformed counts frames discarded for inconsistent shard
-	// framing (changed counts, non-tiling offsets, oversized assemblies).
+	// framing (changed counts, non-tiling offsets, oversized assemblies)
+	// plus — with a Metrics handle on a TCP node — undecodable or
+	// oversized compressed payloads dropped at the read loop.
 	DroppedMalformed int
 	// PeakBytes is the collector's buffered-payload high-water mark.
 	PeakBytes int
+	// ForgedDropped counts inbound frames whose From field disagreed
+	// with the TCP connection's hello-authenticated identity. Zero
+	// without a Metrics handle (the counter lives on the transport).
+	ForgedDropped uint64
+	// DroppedUnnegotiated counts inbound compressed frames using a
+	// scheme the sender never announced. Zero without a Metrics handle.
+	DroppedUnnegotiated uint64
+	// DroppedOverflow counts inbound frames the node's bounded mailbox
+	// shed under a drop policy. Zero without a Metrics handle.
+	DroppedOverflow uint64
+	// DroppedClosed counts inbound frames that arrived after the node's
+	// mailbox closed. Zero without a Metrics handle.
+	DroppedClosed uint64
+	// Steps is how many protocol steps the node completed. Zero without
+	// a Metrics handle.
+	Steps uint64
 }
 
-// recordStats copies the active collector's counters into st (nil-safe).
-func recordStats(st *NodeStats, col *transport.Collector, scol *transport.ShardCollector) {
+// recordStats copies the node's counters into st (nil-safe). With a
+// live handle attached the whole snapshot comes from it — current even
+// when the run is being torn down by cancellation; otherwise only the
+// collector-level counters are available.
+func recordStats(st *NodeStats, col *transport.Collector, scol *transport.ShardCollector,
+	m *metrics.NodeMetrics) {
 	if st == nil {
 		return
 	}
@@ -119,6 +145,19 @@ func recordStats(st *NodeStats, col *transport.Collector, scol *transport.ShardC
 		st.DroppedMalformed = col.DroppedMalformed()
 		st.PeakBytes = col.PeakBytes()
 	}
+	if m == nil {
+		return
+	}
+	st.DroppedFuture = int(m.DroppedFuture.Load())
+	st.DroppedMalformed = int(m.DroppedMalformed.Load())
+	if pb := m.PeakBytes(); pb > st.PeakBytes {
+		st.PeakBytes = pb
+	}
+	st.ForgedDropped = m.ForgedDropped.Load()
+	st.DroppedUnnegotiated = m.DroppedUnnegotiated.Load()
+	st.DroppedOverflow = m.DroppedOverflow.Load()
+	st.DroppedClosed = m.DroppedClosed.Load()
+	st.Steps = m.Steps.Load()
 }
 
 // ServerConfig parameterises one parameter-server node.
@@ -182,6 +221,13 @@ type ServerConfig struct {
 	// Stats, when non-nil, receives the node's collector counters when the
 	// run ends (on success or error).
 	Stats *NodeStats
+	// Metrics, when non-nil, is this node's live registry handle: the
+	// collectors mirror their counters into it as they increment, and the
+	// loop publishes step completion / quorum progress — the ops surface a
+	// scraper reads mid-run. Attach the same handle to the node's transport
+	// (TCPNode.SetMetrics, ChanNetwork.SetNodeMetrics, Couriers.SetMetrics)
+	// to fold the wire-level drops into the same view.
+	Metrics *metrics.NodeMetrics
 }
 
 // RunServer executes the server loop and returns the node's final parameter
@@ -211,7 +257,14 @@ func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
 		col = transport.NewCollector(ep)
 		col.Validator = validator(dim)
 	}
-	defer recordStats(cfg.Stats, col, scol)
+	if cfg.Metrics != nil {
+		if scol != nil {
+			scol.Metrics = cfg.Metrics
+		} else {
+			col.Metrics = cfg.Metrics
+		}
+	}
+	defer recordStats(cfg.Stats, col, scol, cfg.Metrics)
 	theta := tensor.Clone(cfg.Init)
 	var velocity tensor.Vector
 	if cfg.Momentum > 0 {
@@ -290,6 +343,9 @@ func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
 				}
 			}
 		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.Progress() // gradient quorum made headway this step
+		}
 		if cfg.Momentum > 0 {
 			tensor.ScaleInPlace(velocity, cfg.Momentum)
 			tensor.AddInPlace(velocity, agg)
@@ -333,6 +389,12 @@ func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
 				}
 			}
 		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.StepDone(t)
+		}
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.MarkDone()
 	}
 	return theta, nil
 }
@@ -368,6 +430,8 @@ type WorkerConfig struct {
 	ShardSize int
 	// Stats mirrors ServerConfig.Stats.
 	Stats *NodeStats
+	// Metrics mirrors ServerConfig.Metrics.
+	Metrics *metrics.NodeMetrics
 }
 
 // RunWorker executes the worker loop.
@@ -389,7 +453,14 @@ func RunWorker(ep transport.Endpoint, cfg WorkerConfig) error {
 		col = transport.NewCollector(ep)
 		col.Validator = validator(dim)
 	}
-	defer recordStats(cfg.Stats, col, scol)
+	if cfg.Metrics != nil {
+		if scol != nil {
+			scol.Metrics = cfg.Metrics
+		} else {
+			col.Metrics = cfg.Metrics
+		}
+	}
+	defer recordStats(cfg.Stats, col, scol, cfg.Metrics)
 
 	for t := 0; t < cfg.Steps; t++ {
 		var agg tensor.Vector
@@ -440,6 +511,12 @@ func RunWorker(ep transport.Endpoint, cfg WorkerConfig) error {
 		for _, s := range cfg.Servers {
 			send(ep, cfg.Attack, transport.KindGradient, t, s, grad, cfg.ShardSize)
 		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.StepDone(t)
+		}
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.MarkDone()
 	}
 	return nil
 }

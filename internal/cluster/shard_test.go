@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/gar"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 	"repro/internal/transport"
@@ -250,7 +252,7 @@ func TestShardedOverTCP(t *testing.T) {
 }
 
 // TestShardedTCPDropCountersUnderRogue arms one sharded live TCP run so
-// that all three inbound drop classes fire independently, and asserts each
+// that every inbound drop class fires independently, and asserts each
 // through its own counter:
 //
 //   - DroppedOverflow: a rogue peer bursts 100 malformed frames at ps0
@@ -261,9 +263,16 @@ func TestShardedOverTCP(t *testing.T) {
 //     server startup and counted there.
 //   - DroppedMalformed: the remaining survivors carry shard tags that
 //     disagree with the deployment layout and die in the shard collector.
+//   - ForgedDropped: a second raw connection hellos as "rogue2" and sends
+//     frames whose From claims another identity — dropped at the read
+//     loop before any mailbox.
+//   - DroppedUnnegotiated: the same connection sends compressed frames
+//     under a scheme its hello never announced.
 //
-// Training then converges anyway: every drop class lands in the rogue's
-// own per-sender queue or in validation, never in an honest quorum slot.
+// All five classes must come back, exactly, both live through the metrics
+// registry handle and in the unified NodeStats after the run. Training
+// then converges anyway: every drop class lands in the rogues' own
+// per-sender queues or in validation, never in an honest quorum slot.
 func TestShardedTCPDropCountersUnderRogue(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spins up 7 TCP listeners")
@@ -275,6 +284,8 @@ func TestShardedTCPDropCountersUnderRogue(t *testing.T) {
 		mailboxCap             = 8
 		burst                  = 100
 		futureFrames           = 4
+		forgedFrames           = 5
+		unnegFrames            = 3
 	)
 	model, train, test := testProblem(700)
 	theta0 := model.ParamVector()
@@ -310,6 +321,11 @@ func TestShardedTCPDropCountersUnderRogue(t *testing.T) {
 		}
 	}
 	target := nodes[ServerID(0)]
+	// The live registry handle, attached before any rogue traffic so every
+	// drop below is mirrored as it happens; NodeStats must report the same
+	// exact counts through it after the run.
+	handle := metrics.NewRegistry().Node(target.ID())
+	target.SetMetrics(handle)
 
 	rogue, err := transport.ListenTCP("rogue", "127.0.0.1:0",
 		map[string]string{target.ID(): target.Addr()})
@@ -347,6 +363,51 @@ func TestShardedTCPDropCountersUnderRogue(t *testing.T) {
 		t.Fatalf("DroppedOverflow = %d, want %d before the run starts", got, wantOverflow)
 	}
 
+	// A second adversary speaks the raw wire protocol: hello as "rogue2",
+	// then frames forging other senders (dropped at the read loop, exactly
+	// counted) and compressed frames under a scheme the hello never
+	// announced (dropped as un-negotiated). Neither class ever reaches a
+	// mailbox or collector, so the exact counts above are undisturbed.
+	raw, err := net.Dial("tcp", target.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	stream, err := transport.AppendHello(nil, "rogue2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < forgedFrames; i++ {
+		stream, err = transport.AppendMessage(stream, &transport.Message{
+			From: "wrk0", Kind: transport.KindGradient, Step: 0, Vec: tensor.Vector{1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < unnegFrames; i++ {
+		stream, err = transport.AppendMessage(stream, &transport.Message{
+			From: "rogue2", Kind: transport.KindGradient, Step: 0,
+			Comp: transport.CompMeta{Scheme: 1, Dim: 1, Data: []byte{0, 0, 0, 0}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := raw.Write(stream); err != nil {
+		t.Fatal(err)
+	}
+	for (target.ForgedDropped() < forgedFrames ||
+		target.DroppedUnnegotiated() < unnegFrames) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := target.ForgedDropped(); got != forgedFrames {
+		t.Fatalf("ForgedDropped = %d, want %d before the run starts", got, forgedFrames)
+	}
+	if got := target.DroppedUnnegotiated(); got != unnegFrames {
+		t.Fatalf("DroppedUnnegotiated = %d, want %d before the run starts", got, unnegFrames)
+	}
+
 	serverIDs, workerIDs := ids[:numServers], ids[numServers:]
 	rng := tensor.NewRNG(23)
 	var (
@@ -376,6 +437,7 @@ func TestShardedTCPDropCountersUnderRogue(t *testing.T) {
 		}
 		if i == 0 {
 			scfg.Stats = &targetStats
+			scfg.Metrics = handle
 		}
 		ep := nodes[serverIDs[i]]
 		wg.Add(1)
@@ -430,6 +492,22 @@ func TestShardedTCPDropCountersUnderRogue(t *testing.T) {
 	if got := target.DroppedOverflow(); got != wantOverflow {
 		t.Errorf("DroppedOverflow moved during the run: %d, want %d (honest traffic must not overflow)",
 			got, wantOverflow)
+	}
+	// The unified NodeStats must carry every transport-layer class too,
+	// read back from the live registry handle — not just the collector's
+	// two counters.
+	if targetStats.ForgedDropped != forgedFrames {
+		t.Errorf("NodeStats.ForgedDropped = %d, want %d", targetStats.ForgedDropped, forgedFrames)
+	}
+	if targetStats.DroppedUnnegotiated != unnegFrames {
+		t.Errorf("NodeStats.DroppedUnnegotiated = %d, want %d",
+			targetStats.DroppedUnnegotiated, unnegFrames)
+	}
+	if targetStats.DroppedOverflow != wantOverflow {
+		t.Errorf("NodeStats.DroppedOverflow = %d, want %d", targetStats.DroppedOverflow, wantOverflow)
+	}
+	if targetStats.Steps != steps {
+		t.Errorf("NodeStats.Steps = %d, want %d", targetStats.Steps, steps)
 	}
 	final, err := gar.Median{}.Aggregate(finals)
 	if err != nil {

@@ -12,7 +12,7 @@ import (
 // and figures first, then the design-choice ablations.
 var ids = []string{"table1", "fig3", "fig4", "table2", "overhead",
 	"contraction", "quorum", "gar", "async", "noniid", "matrix", "throughput",
-	"memory", "bandwidth", "scale"}
+	"memory", "bandwidth", "scale", "soak"}
 
 // IDs returns the experiment identifiers in presentation order.
 func IDs() []string {
@@ -107,6 +107,12 @@ func Run(id string, s Scale, out io.Writer) error {
 		fmt.Fprint(out, r.Format())
 	case "scale":
 		r, err := ScaleSweep(s, false, transport.MailboxConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Format())
+	case "soak":
+		r, err := Soak(s, false, "", 0)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSoakSmoke runs the abbreviated soak (the CI gate) end to end: a
+// 12-node live cluster with an equivocating server, flaky faults, and
+// drop-oldest mailboxes must stay live, keep every scraped counter
+// monotonic, and finish inside the scale experiment's heap budget.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 12-node live cluster")
+	}
+	r, err := Soak(Scale{Steps: 10, Batch: 8, SmallBatch: 4, Examples: 300, Seed: 42}, true, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass() {
+		t.Fatalf("soak smoke failed:\n%s", r.Format())
+	}
+	out := r.Format()
+	for _, want := range []string{
+		"peak heap within budget: yes",
+		"soak verdict: PASS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format() missing the greppable line %q:\n%s", want, out)
+		}
+	}
+	if r.Scrapes == 0 {
+		t.Fatal("the self-scraper never ran")
+	}
+	if r.StepsTotal == 0 {
+		t.Fatal("registry saw no completed steps")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Endpoint is one node's handle on a network: asynchronous best-effort Send
@@ -80,6 +82,18 @@ func (n *ChanNetwork) SetMailbox(cfg MailboxConfig) error {
 		}
 	}
 	return nil
+}
+
+// SetNodeMetrics attaches a live counter sink to the named endpoint's
+// inbound mailbox, so its overflow/closed drops and queue depth are
+// readable mid-run. Unknown IDs are ignored.
+func (n *ChanNetwork) SetNodeMetrics(id string, sink *metrics.NodeMetrics) {
+	n.mu.Lock()
+	ep, ok := n.nodes[id]
+	n.mu.Unlock()
+	if ok {
+		ep.box.SetMetrics(sink, false)
+	}
 }
 
 // Close shuts down every endpoint and waits for in-flight delayed deliveries

@@ -550,6 +550,15 @@ const (
 	helloMagicV2 = "GYW2"
 )
 
+// AppendHello appends the hello frame for the given node ID and capability
+// mask (0 = plain frames only). Exported alongside AppendMessage so
+// adversarial harnesses outside this package can speak the raw wire
+// protocol — e.g. hello as one identity and then send frames forging
+// another, which TCPNode must drop and count.
+func AppendHello(buf []byte, id string, caps uint8) ([]byte, error) {
+	return appendHello(buf, id, caps)
+}
+
 // appendHello appends the hello frame for the given node ID and capability
 // mask. caps == 0 emits the legacy v1 hello.
 func appendHello(buf []byte, id string, caps uint8) ([]byte, error) {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Couriers decouples a node loop from its slowest link: Send enqueues the
@@ -26,6 +28,7 @@ type Couriers struct {
 
 	mu     sync.Mutex
 	links  map[string]*Mailbox
+	sink   *metrics.NodeMetrics
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -42,6 +45,18 @@ func NewCouriers(ep Endpoint, cfg MailboxConfig) *Couriers {
 // ID implements Endpoint.
 func (c *Couriers) ID() string { return c.ep.ID() }
 
+// SetMetrics attaches a live counter sink: every link outbox (existing
+// and future) mirrors its overflow drops into the sink's CourierDropped
+// counter.
+func (c *Couriers) SetMetrics(sink *metrics.NodeMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sink = sink
+	for _, box := range c.links {
+		box.SetMetrics(sink, true)
+	}
+}
+
 // Send implements Endpoint: it snapshots m into the destination's outbox
 // and returns. The courier goroutine owning that link delivers in FIFO
 // order; its Send errors are dropped, as the best-effort network model
@@ -55,6 +70,9 @@ func (c *Couriers) Send(to string, m Message) error {
 	box, ok := c.links[to]
 	if !ok {
 		box = NewMailboxWith(c.cfg)
+		if c.sink != nil {
+			box.SetMetrics(c.sink, true)
+		}
 		c.links[to] = box
 		c.wg.Add(1)
 		go c.run(to, box)

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // OverflowPolicy selects what a bounded mailbox does when one sender's
@@ -165,6 +167,14 @@ type Mailbox struct {
 
 	droppedOverflow uint64 // messages lost to a full per-sender queue
 	droppedClosed   uint64 // messages put after Close
+
+	// sink, when non-nil, receives a live atomic mirror of every drop
+	// and the current queue depth. sinkOutbound routes overflow drops to
+	// the courier counter instead of the inbound mailbox counter, and
+	// suppresses the depth gauge (one node fans out over many outboxes,
+	// so a single depth number would be meaningless).
+	sink         *metrics.NodeMetrics
+	sinkOutbound bool
 }
 
 // NewMailbox returns an empty open unbounded mailbox.
@@ -200,6 +210,44 @@ func (m *Mailbox) Config() MailboxConfig {
 	return m.cfg
 }
 
+// SetMetrics attaches a live counter sink: every subsequent drop is
+// mirrored into it, and (for inbound mailboxes) the queue depth gauge
+// tracks Put/Recv. outbound marks the mailbox as a courier outbox, so
+// its overflow drops land under CourierDropped rather than the node's
+// inbound DroppedOverflow.
+func (m *Mailbox) SetMetrics(sink *metrics.NodeMetrics, outbound bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sink = sink
+	m.sinkOutbound = outbound
+}
+
+// mirrorOverflow and mirrorClosed forward one drop to the sink, if
+// any. Caller holds mu.
+func (m *Mailbox) mirrorOverflow() {
+	if m.sink == nil {
+		return
+	}
+	if m.sinkOutbound {
+		m.sink.CourierDropped.Add(1)
+	} else {
+		m.sink.DroppedOverflow.Add(1)
+	}
+}
+
+func (m *Mailbox) mirrorClosed() {
+	if m.sink != nil {
+		m.sink.DroppedClosed.Add(1)
+	}
+}
+
+// mirrorDepth publishes the current queue depth. Caller holds mu.
+func (m *Mailbox) mirrorDepth() {
+	if m.sink != nil && !m.sinkOutbound {
+		m.sink.SetQueueDepth(m.length)
+	}
+}
+
 // Put enqueues a message keyed by its From field. Messages put after Close
 // are dropped and counted under DroppedClosed (the node has left the
 // computation, but the loss stays observable). When the sender's queue is
@@ -212,6 +260,7 @@ func (m *Mailbox) Put(msg Message) {
 	defer m.mu.Unlock()
 	if m.closed {
 		m.droppedClosed++
+		m.mirrorClosed()
 		return
 	}
 	pq := m.peers[msg.From]
@@ -227,14 +276,17 @@ func (m *Mailbox) Put(msg Message) {
 			}
 			if m.closed {
 				m.droppedClosed++
+				m.mirrorClosed()
 				return
 			}
 		case DropNewest:
 			m.droppedOverflow++
+			m.mirrorOverflow()
 			return
 		case DropOldest:
 			m.unlink(pq.oldest)
 			m.droppedOverflow++
+			m.mirrorOverflow()
 		}
 	}
 	e := &mailEntry{msg: msg, peer: pq}
@@ -254,6 +306,7 @@ func (m *Mailbox) Put(msg Message) {
 	}
 	pq.count++
 	m.length++
+	m.mirrorDepth()
 	m.recvCond.Signal()
 }
 
@@ -317,6 +370,7 @@ func (m *Mailbox) Recv(timeout time.Duration) (Message, bool) {
 	}
 	e := m.head
 	m.unlink(e)
+	m.mirrorDepth()
 	if m.cfg.Policy == Backpressure {
 		m.sendCond.Broadcast()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
 
@@ -33,6 +34,11 @@ type Collector struct {
 	// step or two ahead; without the bound, a Byzantine sender spraying
 	// steps t+1..t+10⁹ would grow the buffer without limit.
 	Horizon int
+
+	// Metrics, when non-nil, receives a live atomic mirror of every
+	// counter increment, so an ops scraper reads current values mid-run
+	// while the plain fields below stay single-goroutine.
+	Metrics *metrics.NodeMetrics
 
 	droppedFuture    int // messages discarded beyond the horizon
 	droppedMalformed int // chunk frames discarded for inconsistent shard tags
@@ -147,6 +153,9 @@ func (c *Collector) account(delta int) {
 	c.curBytes += delta
 	if c.curBytes > c.peakBytes {
 		c.peakBytes = c.curBytes
+		if c.Metrics != nil {
+			c.Metrics.ObservePeak(c.peakBytes)
+		}
 	}
 }
 
@@ -174,6 +183,9 @@ func (c *Collector) store(m Message, currentStep int) {
 	}
 	if m.Step > currentStep+c.horizon() {
 		c.droppedFuture++ // step-spraying sender: bound the buffer, count the drop
+		if c.Metrics != nil {
+			c.Metrics.DroppedFuture.Add(1)
+		}
 		return
 	}
 	key := collectorKey{kind: m.Kind, step: m.Step}
@@ -217,6 +229,9 @@ func (c *Collector) assemble(b *arrivalBuf, m Message) (Message, bool) {
 	}
 	drop := func() {
 		c.droppedMalformed++
+		if c.Metrics != nil {
+			c.Metrics.DroppedMalformed.Add(1)
+		}
 		c.account(-a.bytes)
 		delete(b.asm, m.From)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
 
@@ -174,6 +175,10 @@ type ShardCollector struct {
 	// (0 means DefaultHorizon).
 	Horizon int
 
+	// Metrics, when non-nil, receives a live atomic mirror of every
+	// counter increment, exactly as on Collector.
+	Metrics *metrics.NodeMetrics
+
 	buf              map[collectorKey]*shardStepBuf
 	droppedFuture    int
 	droppedMalformed int
@@ -216,6 +221,15 @@ func (c *ShardCollector) DroppedFuture() int { return c.droppedFuture }
 // with the shard layout.
 func (c *ShardCollector) DroppedMalformed() int { return c.droppedMalformed }
 
+// dropMalformed counts one layout-disagreement drop, mirroring it into
+// the live sink when one is attached.
+func (c *ShardCollector) dropMalformed() {
+	c.droppedMalformed++
+	if c.Metrics != nil {
+		c.Metrics.DroppedMalformed.Add(1)
+	}
+}
+
 // StoredFrames returns how many frames have been buffered so far — the
 // receive-progress counter the memory experiment reads from its fold
 // callback to decide whether an aggregation overlapped the receive stream.
@@ -233,6 +247,9 @@ func (c *ShardCollector) account(delta int) {
 	c.curBytes += delta
 	if c.curBytes > c.peakBytes {
 		c.peakBytes = c.curBytes
+		if c.Metrics != nil {
+			c.Metrics.ObservePeak(c.peakBytes)
+		}
 	}
 }
 
@@ -481,15 +498,18 @@ func (c *ShardCollector) store(m Message, currentStep int) {
 	}
 	if m.Step > currentStep+c.horizon() {
 		c.droppedFuture++
+		if c.Metrics != nil {
+			c.Metrics.DroppedFuture.Add(1)
+		}
 		return
 	}
 	if m.IsShard() {
 		if !c.Layout.CheckMeta(m.Shard, len(m.Vec)) {
-			c.droppedMalformed++
+			c.dropMalformed()
 			return
 		}
 	} else if len(m.Vec) != c.Layout.Dim {
-		c.droppedMalformed++
+		c.dropMalformed()
 		return
 	}
 	if c.Validator != nil && !c.Validator(m) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/compress"
+	"repro/internal/metrics"
 )
 
 // TCPNode is a network endpoint backed by real TCP sockets. Messages are
@@ -42,6 +43,11 @@ type TCPNode struct {
 	forged       uint64 // frames dropped for From ≠ hello identity
 	unnegotiated uint64 // compressed frames dropped for an unannounced scheme
 	malformed    uint64 // compressed frames dropped for an undecodable payload
+
+	// sink, when set, receives a live atomic mirror of the three TCP
+	// hardening counters above (read per-frame in readLoop, hence the
+	// atomic pointer) and is forwarded to the inbound mailbox.
+	sink atomic.Pointer[metrics.NodeMetrics]
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -131,6 +137,15 @@ func (n *TCPNode) DroppedOverflow() uint64 { return n.box.DroppedOverflow() }
 // DroppedClosed returns how many inbound frames arrived after Close and
 // were discarded by the mailbox — frames that raced the node's shutdown.
 func (n *TCPNode) DroppedClosed() uint64 { return n.box.DroppedClosed() }
+
+// SetMetrics attaches a live counter sink: the TCP hardening drops
+// (forged, unnegotiated, malformed) and the inbound mailbox's drops
+// and depth are mirrored into it from then on. Like SetCompression,
+// call it between ListenTCP and traffic for complete counts.
+func (n *TCPNode) SetMetrics(sink *metrics.NodeMetrics) {
+	n.sink.Store(sink)
+	n.box.SetMetrics(sink, false)
+}
 
 // SetMailbox bounds the node's inbound mailbox per sender. With
 // Backpressure, a full per-sender queue blocks that connection's readLoop:
@@ -369,6 +384,9 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 			// one this connection authenticated as. Dropping it is what
 			// keeps per-sender quorum dedup meaningful.
 			atomic.AddUint64(&n.forged, 1)
+			if s := n.sink.Load(); s != nil {
+				s.ForgedDropped.Add(1)
+			}
 			continue
 		}
 		if m.IsCompressed() {
@@ -377,6 +395,9 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 				// Announce-then-use: a scheme the hello did not claim (or
 				// that this build cannot decode) is not negotiated.
 				atomic.AddUint64(&n.unnegotiated, 1)
+				if s := n.sink.Load(); s != nil {
+					s.DroppedUnnegotiated.Add(1)
+				}
 				continue
 			}
 			n.mu.Lock()
@@ -384,6 +405,9 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 			n.mu.Unlock()
 			if maxDim > 0 && m.Comp.Dim > maxDim {
 				atomic.AddUint64(&n.malformed, 1)
+				if s := n.sink.Load(); s != nil {
+					s.DroppedMalformed.Add(1)
+				}
 				continue
 			}
 			if dec == nil {
@@ -391,6 +415,9 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 			}
 			if err := DecompressMessage(dec, &m); err != nil {
 				atomic.AddUint64(&n.malformed, 1)
+				if s := n.sink.Load(); s != nil {
+					s.DroppedMalformed.Add(1)
+				}
 				continue
 			}
 		}
