@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"cloneboundary", "counterparity", "nodeterminism", "boundedalloc", "noparallelnest"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunFilter(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "clone", "-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if got := strings.TrimSpace(out.String()); !strings.HasPrefix(got, "cloneboundary") || strings.Contains(got, "\n") {
+		t.Errorf("-run clone -list should print exactly cloneboundary, got:\n%s", out.String())
+	}
+}
+
+func TestBadRunRegexp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "("}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestNoMatchingAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "nosuchanalyzer"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestRepoTreeIsClean runs the full suite over this repository: the
+// lint gate must hold for the tree the gate ships in.
+func TestRepoTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", "../..", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/guanyu/gar"
 )
+
+var registerPickFirst sync.Once
 
 func vectors(n, d int) [][]float64 {
 	vs := make([][]float64, n)
@@ -188,9 +191,13 @@ func TestAggregateHonoursCancellation(t *testing.T) {
 // and rejects collisions.
 func TestRegisterExternalRule(t *testing.T) {
 	first := func(p gar.Params) (gar.Rule, error) { return pickFirst{}, nil }
-	if err := gar.Register("test-pick-first", first); err != nil {
-		t.Fatal(err)
-	}
+	// Registration is global and permanent; -count>1 reruns this test
+	// in one process, so only the first run performs it.
+	registerPickFirst.Do(func() {
+		if err := gar.Register("test-pick-first", first); err != nil {
+			t.Fatal(err)
+		}
+	})
 	if err := gar.Register("test-pick-first", first); err == nil {
 		t.Fatal("duplicate registration accepted")
 	}
@@ -220,6 +227,12 @@ type pickFirst struct{}
 
 func (pickFirst) Name() string { return "test-pick-first" }
 func (pickFirst) Aggregate(ctx context.Context, dst []float64, inputs [][]float64) ([]float64, error) {
+	// Honour the Rule contract's cancellation clause: registration is
+	// global, so TestAggregateHonoursCancellation exercises this rule
+	// too whenever it runs after TestRegisterExternalRule.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("empty")
 	}

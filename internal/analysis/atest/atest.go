@@ -1,0 +1,103 @@
+// Package atest is the analysistest-style harness for the repo's
+// static-analysis suite: it loads a self-contained fixture tree with
+// analysis.LoadFixture, runs a set of analyzers over every package in
+// it, and matches the diagnostics one-to-one against `// want "re"`
+// markers in the fixture sources. An unexpected diagnostic and an
+// unsatisfied marker both fail the test, so each fixture is a
+// regression test in both directions: the analyzer must flag the bad
+// lines and stay silent on the good ones — and the test fails outright
+// if the analyzer it exercises is disabled.
+package atest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one parsed want marker.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture tree rooted at src, runs the given analyzers
+// over it, and reports mismatches between the resulting diagnostics
+// and the fixtures' want markers as test errors.
+func Run(t *testing.T, src string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.LoadFixture(src)
+	if err != nil {
+		t.Fatalf("atest: load fixture %s: %v", src, err)
+	}
+	wants, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatalf("atest: %v", err)
+	}
+	for _, d := range analysis.RunAnalyzers(pkgs, analyzers) {
+		if w := match(wants, d); w != nil {
+			w.hit = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// match finds the first unconsumed expectation on the diagnostic's
+// line whose regexp matches its message.
+func match(wants []*expectation, d analysis.Diagnostic) *expectation {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants scans every fixture file's comments for markers of the
+// form `// want "re"` — one or more quoted regexps, each expecting one
+// diagnostic on the marker's line whose message it matches.
+func collectWants(pkgs []*analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+					if !ok {
+						continue
+					}
+					position := pkg.Fset.Position(c.Pos())
+					for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+						q, err := strconv.QuotedPrefix(rest)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: malformed want marker %q", position.Filename, position.Line, c.Text)
+						}
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: %v", position.Filename, position.Line, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want regexp: %v", position.Filename, position.Line, err)
+						}
+						wants = append(wants, &expectation{file: position.Filename, line: position.Line, re: re})
+						rest = rest[len(q):]
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}

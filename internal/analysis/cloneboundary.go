@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CloneBoundary flags transport.Message values that cross a send
+// boundary without a Clone: the sender keeps mutating its parameter
+// vector in place, so a Message whose Vec aliases the sender's buffer
+// races the moment another goroutine can read it. This is the exact
+// shape of the races fixed in PRs 2, 3 and 7.
+//
+// Checked boundaries:
+//
+//   - channel sends of a Message (or *Message) value;
+//   - `go` statements: Message-typed call arguments and Message-typed
+//     free variables captured by a launched function literal;
+//   - time.AfterFunc callbacks: Message-typed free variables captured
+//     by the function literal.
+//
+// A Message is considered owned (no finding) when it is the result of
+// a call (x.Clone(), box.Recv(), ...), a fresh composite literal, or a
+// parameter of the enclosing function — parameters shift the clone
+// obligation to the caller, which is the ownership convention
+// transport.ChanNetwork.deliver documents. The analyzer is lexical: it
+// does not track a message through reassignments or across function
+// calls (the race detector and the transport tests cover that
+// remainder). Escape hatch: //lint:allow-share.
+var CloneBoundary = &Analyzer{
+	Name: "cloneboundary",
+	Doc:  "flag transport.Message values crossing a send boundary without Clone()",
+	Run:  runCloneBoundary,
+}
+
+func runCloneBoundary(p *Pass) {
+	for _, f := range p.Files {
+		var enclosing []*ast.FuncType // innermost last: funcs the walk is inside
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				enclosing = append(enclosing, n.Type)
+				ast.Inspect(n.Body, walk)
+				enclosing = enclosing[:len(enclosing)-1]
+				return false
+			case *ast.FuncLit:
+				enclosing = append(enclosing, n.Type)
+				ast.Inspect(n.Body, walk)
+				enclosing = enclosing[:len(enclosing)-1]
+				return false
+			case *ast.SendStmt:
+				if isMessageType(p.Info.Types[n.Value].Type) && !p.ownedExpr(n.Value, enclosing) &&
+					!p.Allowed("share", n.Arrow) {
+					p.Reportf(n.Arrow,
+						"transport.Message sent on a channel without Clone(): the payload aliases the sender's buffer")
+				}
+			case *ast.GoStmt:
+				p.checkLaunch(n.Call, enclosing)
+			case *ast.CallExpr:
+				if isPkgFunc(p.Info, n, "time", "AfterFunc") && len(n.Args) == 2 {
+					if lit, ok := ast.Unparen(n.Args[1]).(*ast.FuncLit); ok {
+						p.checkCaptures(lit, enclosing, "time.AfterFunc callback")
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+// checkLaunch examines one `go` call: its Message-typed arguments and,
+// for a directly launched literal, its Message-typed captures.
+func (p *Pass) checkLaunch(call *ast.CallExpr, enclosing []*ast.FuncType) {
+	for _, arg := range call.Args {
+		if isMessageType(p.Info.Types[arg].Type) && !p.ownedExpr(arg, enclosing) &&
+			!p.Allowed("share", arg.Pos()) {
+			p.Reportf(arg.Pos(),
+				"transport.Message handed to a goroutine without Clone(): the payload aliases the sender's buffer")
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		p.checkCaptures(lit, enclosing, "goroutine")
+	}
+}
+
+// checkCaptures flags Message-typed free variables of lit that are not
+// owned at their declaration.
+func (p *Pass) checkCaptures(lit *ast.FuncLit, enclosing []*ast.FuncType, what string) {
+	reported := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || reported[obj] || !isMessageType(obj.Type()) {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the literal, not a capture
+		}
+		if obj.IsField() || p.ownedObj(obj, enclosing) || p.Allowed("share", id.Pos()) {
+			return true
+		}
+		reported[obj] = true
+		p.Reportf(id.Pos(),
+			"transport.Message %q captured by a %s without Clone(): the payload aliases the sender's buffer", obj.Name(), what)
+		return true
+	})
+}
+
+// ownedExpr reports whether e evaluates to an owned Message: a call
+// result (Clone, Recv, constructors), a fresh composite literal, or a
+// variable that is owned per ownedObj.
+func (p *Pass) ownedExpr(e ast.Expr, enclosing []*ast.FuncType) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return true
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr: // &Message{...}
+		return p.ownedExpr(e.X, enclosing)
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[e].(*types.Var); ok {
+			return p.ownedObj(obj, enclosing)
+		}
+	}
+	return false
+}
+
+// ownedObj reports whether the variable is owned where it was born: a
+// parameter of one of the enclosing functions (the caller already owed
+// us a clone) or a local whose defining expression was itself owned
+// (m := x.Clone(); m, ok := box.Recv(...)).
+func (p *Pass) ownedObj(obj *types.Var, enclosing []*ast.FuncType) bool {
+	for _, ft := range enclosing {
+		if ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if p.Info.Defs[name] == obj {
+					return true
+				}
+			}
+		}
+	}
+	return p.definedByCall(obj)
+}
+
+// definedByCall reports whether obj's defining statement assigns it
+// from a call or composite literal.
+func (p *Pass) definedByCall(obj *types.Var) bool {
+	for _, f := range p.Files {
+		if f.Pos() > obj.Pos() || obj.Pos() > f.End() {
+			continue
+		}
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || p.Info.Defs[id] != obj {
+						continue
+					}
+					rhs := n.Rhs[0]
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					switch ast.Unparen(rhs).(type) {
+					case *ast.CallExpr, *ast.CompositeLit, *ast.TypeAssertExpr:
+						found = true
+					}
+					return false
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if p.Info.Defs[name] != obj || i >= len(n.Values) {
+						continue
+					}
+					switch ast.Unparen(n.Values[i]).(type) {
+					case *ast.CallExpr, *ast.CompositeLit:
+						found = true
+					}
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	return false
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CounterParity flags event-counter increments in the transport and
+// cluster packages that do not mirror the event into the
+// internal/metrics live registry at increment time. Before PR 8 the
+// hardening counters were snapshotted into NodeStats only on clean
+// return, so a scraper mid-run (or after a cancellation) read zeros —
+// this analyzer makes that bug class unrepresentable.
+//
+// An "event increment" is an increment-by-one of a struct field whose
+// name contains dropped/forged/unnegotiated/malformed (or is Steps):
+// x.f++, x.f += 1, atomic.AddUint64(&x.f, 1), or x.f.Add(1). Summing
+// already-mirrored counters into a result struct (res.X += n) is not
+// an event and is not flagged.
+//
+// The mirror must be lexically present in the innermost block (or
+// case body) containing the increment, and must name-match the
+// counter: a call to a mirror* helper, an increment of a
+// metrics.NodeMetrics counter field, or a NodeMetrics method call
+// (StepDone, ...). Escape hatch: //lint:allow-unmirrored.
+var CounterParity = &Analyzer{
+	Name: "counterparity",
+	Doc:  "flag Dropped*/Forged*/Steps increments not mirrored into internal/metrics",
+	Run:  runCounterParity,
+}
+
+var counterWords = []string{"dropped", "forged", "unnegotiated", "malformed"}
+
+// isCounterName reports whether a field name identifies an event
+// counter under this analyzer's contract.
+func isCounterName(name string) bool {
+	l := strings.ToLower(name)
+	for _, w := range counterWords {
+		if strings.Contains(l, w) {
+			return true
+		}
+	}
+	return l == "steps"
+}
+
+// counterMatches reports whether the mirror name plausibly mirrors the
+// counter name: after lowercasing and stripping the dropped/mirror
+// prefixes and a plural s, one must contain the other.
+func counterMatches(counter, mirror string) bool {
+	for _, c := range counterStems(counter) {
+		for _, m := range counterStems(mirror) {
+			if strings.Contains(m, c) || strings.Contains(c, m) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func counterStems(name string) []string {
+	l := strings.ToLower(name)
+	stems := []string{l}
+	for _, prefix := range []string{"dropped", "mirror", "courier"} {
+		if s := strings.TrimPrefix(l, prefix); s != l && s != "" {
+			stems = append(stems, s)
+		}
+	}
+	if s := strings.TrimSuffix(l, "s"); s != l && s != "" {
+		stems = append(stems, s)
+	}
+	return stems
+}
+
+func runCounterParity(p *Pass) {
+	if name := p.Pkg.Name(); name != "transport" && name != "cluster" {
+		return
+	}
+	for _, f := range p.Files {
+		// blocks tracks the innermost statement list enclosing the walk.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			field, pos, ok := p.counterIncrement(n)
+			if !ok {
+				return true
+			}
+			if p.Allowed("unmirrored", pos) {
+				return true
+			}
+			if block := innermostStmtList(stack); block != nil && p.blockMirrors(block, field) {
+				return true
+			}
+			p.Reportf(pos,
+				"counter %s incremented without mirroring into its internal/metrics handle in the same block", field)
+			return true
+		})
+	}
+}
+
+// counterIncrement recognises the event-increment statement shapes and
+// returns the incremented field's name.
+func (p *Pass) counterIncrement(n ast.Node) (field string, pos token.Pos, ok bool) {
+	switch n := n.(type) {
+	case *ast.IncDecStmt:
+		if n.Tok != token.INC {
+			return "", 0, false
+		}
+		if name, ok := p.counterField(n.X); ok {
+			return name, n.Pos(), true
+		}
+	case *ast.AssignStmt:
+		if n.Tok != token.ADD_ASSIGN || len(n.Lhs) != 1 || !isIntLit(p, n.Rhs[0], 1) {
+			return "", 0, false
+		}
+		if name, ok := p.counterField(n.Lhs[0]); ok {
+			return name, n.Pos(), true
+		}
+	case *ast.CallExpr:
+		// atomic.AddUint64(&x.f, 1) / atomic.AddUint32(&x.f, 1)
+		if isPkgFunc(p.Info, n, "atomic", "AddUint64", "AddUint32", "AddInt64", "AddInt32") && len(n.Args) == 2 {
+			if u, isAddr := ast.Unparen(n.Args[0]).(*ast.UnaryExpr); isAddr && u.Op == token.AND && isIntLit(p, n.Args[1], 1) {
+				if name, ok := p.counterField(u.X); ok {
+					return name, n.Pos(), true
+				}
+			}
+		}
+		// x.f.Add(1) where f is an atomic counter field of a non-metrics
+		// struct (NodeMetrics fields ARE the mirror side).
+		if sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); isSel && sel.Sel.Name == "Add" &&
+			len(n.Args) == 1 && isIntLit(p, n.Args[0], 1) {
+			if name, ok := p.counterField(sel.X); ok && !p.onNodeMetrics(sel.X) {
+				return name, n.Pos(), true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// counterField returns the selected field name when e selects a struct
+// field whose name marks an event counter.
+func (p *Pass) counterField(e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return "", false
+	}
+	if !isCounterName(sel.Sel.Name) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// onNodeMetrics reports whether the selection's base is (a field chain
+// rooted in) a metrics.NodeMetrics value.
+func (p *Pass) onNodeMetrics(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if t := p.Info.Types[sel.X].Type; t != nil && namedFromPkg(t, "metrics", "NodeMetrics") {
+		return true
+	}
+	return false
+}
+
+func isIntLit(p *Pass, e ast.Expr, want int64) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return exact && v == want
+}
+
+// innermostStmtList walks the node stack from the inside out and
+// returns the nearest enclosing statement list (block, case body or
+// comm body).
+func innermostStmtList(stack []ast.Node) []ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.BlockStmt:
+			return n.List
+		case *ast.CaseClause:
+			return n.Body
+		case *ast.CommClause:
+			return n.Body
+		}
+	}
+	return nil
+}
+
+// blockMirrors reports whether any statement in the block subtree
+// mirrors the named counter into metrics.
+func (p *Pass) blockMirrors(block []ast.Stmt, counter string) bool {
+	found := false
+	for _, stmt := range block {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			// mirror* helper whose name matches the counter.
+			if strings.HasPrefix(strings.ToLower(name), "mirror") && counterMatches(counter, name) {
+				found = true
+				return false
+			}
+			// NodeMetrics counter field increment: x.DroppedFoo.Add(n).
+			if name == "Add" && p.onNodeMetrics(sel.X) {
+				if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && counterMatches(counter, inner.Sel.Name) {
+					found = true
+					return false
+				}
+			}
+			// NodeMetrics method call (StepDone, ObservePeak, ...).
+			if t := p.Info.Types[sel.X].Type; t != nil && namedFromPkg(t, "metrics", "NodeMetrics") &&
+				counterMatches(counter, name) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,317 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// ImportPath is the package's import path (module path for real
+	// packages, src-relative path for fixtures).
+	ImportPath string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Fset maps positions.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files.
+	Files []*ast.File
+	// Types is the checked package.
+	Types *types.Package
+	// Info holds the checker's facts.
+	Info *types.Info
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// listedPkg is the subset of `go list -json` output the loaders use.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` in dir over the given
+// patterns and returns the decoded package records. Export data for
+// every dependency comes from the build cache, so the tree must
+// compile — the same precondition every vet-style tool has.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s", p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types.Importer that resolves every import
+// from the given import-path → export-file map.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+func parseDir(fset *token.FileSet, dir string, goFiles []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load loads and type-checks the packages matching patterns, resolved
+// relative to dir (the module root). Each matched package is checked
+// from source; its dependencies — in-module and standard library alike
+// — come from compiled export data, which makes loading the whole tree
+// a parse + check of only the packages under analysis.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []listedPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		files, err := parseDir(fset, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      pkg,
+			Info:       info,
+		})
+	}
+	return out, nil
+}
+
+// --- fixture loading -----------------------------------------------------
+
+// fixtureLoader type-checks a self-contained tree of fixture packages
+// rooted at src: the package in directory src/<path> has import path
+// <path>, fixture packages may import each other by those paths, and
+// any other import resolves to the standard library through export
+// data listed on demand.
+type fixtureLoader struct {
+	src  string
+	fset *token.FileSet
+	pkgs map[string]*Package
+	std  types.Importer
+}
+
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if p, err := l.load(path); err == nil {
+		return p.Types, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return l.std.Import(path)
+}
+
+func (l *fixtureLoader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("analysis: fixture package %s has no Go files", path)
+	}
+	files, err := parseDir(l.fset, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check fixture %s: %v", path, err)
+	}
+	p := &Package{ImportPath: path, Dir: dir, Fset: l.fset, Files: files, Types: pkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// stdImports collects the non-fixture import paths used anywhere under
+// src, so one `go list` call can resolve them all to export data.
+func stdImports(src string) ([]string, error) {
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if info, statErr := os.Stat(filepath.Join(src, filepath.FromSlash(p))); statErr == nil && info.IsDir() {
+				continue // fixture-local import
+			}
+			seen[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// LoadFixture loads every fixture package under the src root (see
+// fixtureLoader). Packages are returned in import-path order.
+func LoadFixture(src string) ([]*Package, error) {
+	abs, err := filepath.Abs(src)
+	if err != nil {
+		return nil, err
+	}
+	std, err := stdImports(abs)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	if len(std) > 0 {
+		listed, err := goList(abs, std)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	fset := token.NewFileSet()
+	l := &fixtureLoader{
+		src:  abs,
+		fset: fset,
+		pkgs: make(map[string]*Package),
+		std:  exportImporter(fset, exports),
+	}
+	var paths []string
+	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		rel, err := filepath.Rel(abs, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		paths = append(paths, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []*Package
+	seen := make(map[string]bool)
+	for _, p := range paths {
+		if p == "." || seen[p] {
+			continue
+		}
+		seen[p] = true
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

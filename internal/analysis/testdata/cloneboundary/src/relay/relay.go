@@ -1,0 +1,64 @@
+// Package relay exercises every send boundary CloneBoundary checks —
+// channel sends, goroutine arguments and captures, time.AfterFunc
+// captures — in both shared and owned form.
+package relay
+
+import (
+	"time"
+
+	"transport"
+)
+
+// Forward is clean: a parameter arrives with the caller's clone
+// obligation already discharged.
+func Forward(ch chan transport.Message, m transport.Message) {
+	ch <- m
+}
+
+// FanOut shares one buffer with every receiver in the first loop and
+// clones per receiver in the second.
+func FanOut(ch chan transport.Message, msgs []transport.Message) {
+	for _, m := range msgs {
+		ch <- m // want "sent on a channel without Clone"
+	}
+	for _, m := range msgs {
+		ch <- m.Clone()
+	}
+}
+
+// Launch hands the shared buffer to new goroutines three ways: as a
+// call argument, cloned, and as a closure capture.
+func Launch(ch chan transport.Message, msgs []transport.Message) {
+	for _, m := range msgs {
+		go send(ch, m) // want "handed to a goroutine without Clone"
+		go send(ch, m.Clone())
+		go func() {
+			use(m) // want "captured by a goroutine without Clone"
+		}()
+	}
+}
+
+// Later schedules a callback over the shared buffer.
+func Later(msgs []transport.Message) {
+	for _, m := range msgs {
+		time.AfterFunc(time.Millisecond, func() {
+			use(m) // want "captured by a time.AfterFunc callback"
+		})
+	}
+}
+
+// Owned messages — fresh literals, call results — cross boundaries
+// clean, and //lint:allow-share waives a justified share.
+func Owned(ch chan transport.Message, msgs []transport.Message) {
+	fresh := transport.Message{From: "a"}
+	ch <- fresh
+	for _, m := range msgs {
+		held := m
+		//lint:allow-share fixture: receiver is read-only by contract
+		ch <- held
+	}
+}
+
+func send(ch chan transport.Message, m transport.Message) { ch <- m }
+
+func use(transport.Message) {}

@@ -1,0 +1,18 @@
+// Package transport is the fixture stand-in for the wire message
+// type; CloneBoundary matches transport.Message by package and type
+// name.
+package transport
+
+// Message mimics the wire message: Vec is the aliasable payload.
+type Message struct {
+	From string
+	Step int
+	Vec  []float64
+}
+
+// Clone returns a deep copy whose Vec shares nothing with m.
+func (m Message) Clone() Message {
+	out := m
+	out.Vec = append([]float64(nil), m.Vec...)
+	return out
+}

@@ -1,0 +1,20 @@
+// Package metrics is the fixture stand-in for the live counter
+// registry; CounterParity matches metrics.NodeMetrics by package and
+// type name.
+package metrics
+
+// Counter is a minimal atomic-counter stand-in.
+type Counter struct{ n uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.n += n }
+
+// NodeMetrics models the per-node live handle.
+type NodeMetrics struct {
+	DroppedFuture Counter
+	Forged        Counter
+	Steps         Counter
+}
+
+// StepDone records one completed protocol step.
+func (m *NodeMetrics) StepDone(step int) { m.Steps.Add(1) }

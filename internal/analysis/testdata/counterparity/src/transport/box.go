@@ -1,0 +1,58 @@
+// Package transport exercises CounterParity: every recognised
+// increment shape of a hardening counter, with and without its
+// internal/metrics mirror.
+package transport
+
+import (
+	"sync/atomic"
+
+	"metrics"
+)
+
+// Box counts the frames it rejects.
+type Box struct {
+	droppedOverflow uint64
+	droppedFuture   uint64
+	forged          uint64
+	steps           int
+	sink            *metrics.NodeMetrics
+}
+
+// RejectOverflow drops a frame without telling the live registry —
+// the bug shape this analyzer exists for.
+func (b *Box) RejectOverflow() {
+	atomic.AddUint64(&b.droppedOverflow, 1) // want "incremented without mirroring"
+}
+
+// RejectFuture mirrors the drop at increment time.
+func (b *Box) RejectFuture() {
+	atomic.AddUint64(&b.droppedFuture, 1)
+	if b.sink != nil {
+		b.sink.DroppedFuture.Add(1)
+	}
+}
+
+// CountForged uses the ++ shape, unmirrored.
+func (b *Box) CountForged() {
+	b.forged++ // want "incremented without mirroring"
+}
+
+// Step uses the += 1 shape with a method-call mirror.
+func (b *Box) Step() {
+	b.steps += 1
+	if b.sink != nil {
+		b.sink.StepDone(b.steps)
+	}
+}
+
+// Restep is mirrored by its only caller, which holds the lock the
+// mirror needs — the escape hatch documents that.
+func (b *Box) Restep() {
+	b.steps += 1 //lint:allow-unmirrored fixture: caller mirrors under its lock
+}
+
+// Snapshot sums an already-mirrored counter into a result — an
+// aggregation, not an event, so it is not flagged.
+func (b *Box) Snapshot(droppedOverflow *uint64) {
+	*droppedOverflow += atomic.LoadUint64(&b.droppedOverflow)
+}

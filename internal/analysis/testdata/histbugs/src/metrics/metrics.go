@@ -1,0 +1,16 @@
+// Package metrics is the fixture stand-in for the live counter
+// registry; the analyzers match its NodeMetrics type by package and
+// type name.
+package metrics
+
+// Counter is a minimal atomic-counter stand-in.
+type Counter struct{ n uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.n += n }
+
+// NodeMetrics models the per-node live handle.
+type NodeMetrics struct {
+	DroppedFuture Counter
+	Steps         Counter
+}

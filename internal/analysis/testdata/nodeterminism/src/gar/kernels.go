@@ -1,0 +1,63 @@
+// Package gar exercises NoDeterminism inside a deterministic-scoped
+// package: wall-clock reads, unseeded randomness, and map-iteration
+// order leaking into ordered aggregates.
+package gar
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock from a kernel — nondeterministic.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock read"
+}
+
+// Uptime is genuinely wall-clock and says so.
+func Uptime(start time.Time) time.Duration {
+	//lint:allow-clock fixture: elapsed wall time is the point
+	return time.Since(start)
+}
+
+// Pick draws from the shared global source — unseeded.
+func Pick(n int) int {
+	return rand.Intn(n) // want "unseeded global source"
+}
+
+// PickSeeded constructs its generator explicitly.
+func PickSeeded(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}
+
+// Keys leaks map order into the returned slice.
+func Keys(set map[string]bool) []string {
+	var out []string
+	for k := range set {
+		out = append(out, k) // want "inside a map range"
+	}
+	return out
+}
+
+// KeysSorted launders map order through a sort in the same block.
+func KeysSorted(set map[string]bool) []string {
+	var out []string
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CloseAll collects in whatever order the map gives — immaterial for
+// closing, and annotated as such.
+func CloseAll(chans map[string]chan struct{}) {
+	var all []chan struct{}
+	for _, ch := range chans {
+		//lint:allow-maporder fixture: close order is immaterial
+		all = append(all, ch)
+	}
+	for _, ch := range all {
+		close(ch)
+	}
+}

@@ -252,6 +252,13 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 			if err != nil {
 				return nil, err
 			}
+			if h != nil {
+				// Mirror the wrapper's unnegotiated/malformed drops into the
+				// node's live handle, like the TCP read loop does — without
+				// this the in-process runtime's compression drops were
+				// invisible to /metrics (caught by the counterparity lint).
+				c.SetMetrics(h)
+			}
 			ep = c
 		}
 		ep = cfg.Faults.Wrap(ep)

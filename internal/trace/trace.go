@@ -79,12 +79,26 @@ type Recorder struct {
 	total int
 }
 
-// NewRecorder builds a recorder keeping the most recent capacity events.
+// NewRecorder builds a recorder keeping the most recent capacity
+// events, stamping them with the wall clock.
 func NewRecorder(capacity int) *Recorder {
+	//lint:allow-clock event timestamps default to wall time; NewRecorderWithClock injects a deterministic one
+	return NewRecorderWithClock(capacity, time.Now)
+}
+
+// NewRecorderWithClock is NewRecorder with an injected clock: every
+// recorded event's When comes from now(). Replay and tests pass a
+// deterministic clock so two runs of the same schedule produce
+// byte-identical timelines; a nil now falls back to the wall clock.
+func NewRecorderWithClock(capacity int, now func() time.Time) *Recorder {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &Recorder{buf: make([]Event, capacity), now: time.Now}
+	if now == nil {
+		//lint:allow-clock explicit nil opts back into wall time
+		now = time.Now
+	}
+	return &Recorder{buf: make([]Event, capacity), now: now}
 }
 
 // Record appends an event; on a nil recorder it is a no-op.

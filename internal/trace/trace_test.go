@@ -119,3 +119,26 @@ func TestEventKindStrings(t *testing.T) {
 		t.Fatal("unknown kind not handled")
 	}
 }
+
+func TestNewRecorderWithClock(t *testing.T) {
+	tick := time.Unix(1000, 0)
+	r := NewRecorderWithClock(8, func() time.Time {
+		tick = tick.Add(time.Second)
+		return tick
+	})
+	for i := 0; i < 3; i++ {
+		r.Record("n", i, EventUpdate, "")
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d events, want 3", len(events))
+	}
+	for i, e := range events {
+		if want := time.Unix(1000+int64(i)+1, 0); !e.When.Equal(want) {
+			t.Fatalf("event %d stamped %v, want %v (injected clock ignored?)", i, e.When, want)
+		}
+	}
+	if NewRecorderWithClock(8, nil) == nil {
+		t.Fatal("nil clock should fall back to wall time, not fail")
+	}
+}

@@ -107,6 +107,7 @@ func (n *ChanNetwork) Close() error {
 	n.closed = true
 	nodes := make([]*chanEndpoint, 0, len(n.nodes))
 	for _, ep := range n.nodes {
+		//lint:allow-maporder close order across endpoints is immaterial
 		nodes = append(nodes, ep)
 	}
 	n.mu.Unlock()

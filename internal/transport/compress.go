@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/compress"
+	"repro/internal/metrics"
 )
 
 // Glue between the wire codec's compressed frames and the internal/compress
@@ -86,6 +87,7 @@ type Compressor struct {
 
 	unnegotiated uint64
 	malformed    uint64
+	sink         atomic.Pointer[metrics.NodeMetrics]
 }
 
 // compLink is one outbound link's encoder plus the lock that pins encode
@@ -120,6 +122,12 @@ func (c *Compressor) ID() string { return c.ep.ID() }
 
 // Close implements Endpoint.
 func (c *Compressor) Close() error { return c.ep.Close() }
+
+// SetMetrics attaches a live counter sink: every subsequent inbound
+// drop is mirrored into its DroppedUnnegotiated / DroppedMalformed
+// counters at increment time, matching the accounting the TCP
+// transport's readLoop performs. A nil sink detaches.
+func (c *Compressor) SetMetrics(sink *metrics.NodeMetrics) { c.sink.Store(sink) }
 
 // DroppedUnnegotiated returns how many inbound compressed frames were
 // dropped for carrying a scheme this wrapper cannot decode.
@@ -176,6 +184,7 @@ func (c *Compressor) Send(to string, m Message) error {
 func (c *Compressor) Recv(timeout time.Duration) (Message, bool) {
 	var deadline time.Time
 	if timeout >= 0 {
+		//lint:allow-clock Recv timeouts are wall-clock by contract; liveness never decides values
 		deadline = time.Now().Add(timeout)
 	}
 	for {
@@ -187,6 +196,7 @@ func (c *Compressor) Recv(timeout time.Duration) (Message, bool) {
 			return m, true
 		}
 		if timeout >= 0 {
+			//lint:allow-clock deadline bookkeeping for the wall-clock timeout above
 			if timeout = time.Until(deadline); timeout < 0 {
 				timeout = 0
 			}
@@ -201,14 +211,23 @@ func (c *Compressor) acceptInbound(m *Message) bool {
 	}
 	if !compress.Scheme(m.Comp.Scheme).Known() {
 		atomic.AddUint64(&c.unnegotiated, 1)
+		if s := c.sink.Load(); s != nil {
+			s.DroppedUnnegotiated.Add(1)
+		}
 		return false
 	}
 	if c.maxDim > 0 && m.Comp.Dim > c.maxDim {
 		atomic.AddUint64(&c.malformed, 1)
+		if s := c.sink.Load(); s != nil {
+			s.DroppedMalformed.Add(1)
+		}
 		return false
 	}
 	if err := DecompressMessage(c.decoderFor(m.From), m); err != nil {
 		atomic.AddUint64(&c.malformed, 1)
+		if s := c.sink.Load(); s != nil {
+			s.DroppedMalformed.Add(1)
+		}
 		return false
 	}
 	return true

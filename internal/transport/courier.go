@@ -124,6 +124,7 @@ func (c *Couriers) Close() error {
 	c.closed = true
 	links := make([]*Mailbox, 0, len(c.links))
 	for _, box := range c.links {
+		//lint:allow-maporder close order across links is immaterial
 		links = append(links, box)
 	}
 	c.mu.Unlock()

@@ -107,11 +107,13 @@ func (c *Collector) Collect(kind Kind, step, q int, timeout time.Duration) ([]Me
 	key := collectorKey{kind: kind, step: step}
 	var deadline time.Time
 	if timeout >= 0 {
+		//lint:allow-clock Recv timeouts are wall-clock by contract; liveness never decides values
 		deadline = time.Now().Add(timeout)
 	}
 	for c.Buffered(kind, step) < q {
 		wait := time.Duration(-1)
 		if timeout >= 0 {
+			//lint:allow-clock deadline bookkeeping for the wall-clock timeout above
 			wait = time.Until(deadline)
 			if wait <= 0 {
 				return nil, fmt.Errorf("transport: quorum timeout: have %d/%d %s messages for step %d",
@@ -120,6 +122,7 @@ func (c *Collector) Collect(kind Kind, step, q int, timeout time.Duration) ([]Me
 		}
 		m, ok := c.ep.Recv(wait)
 		if !ok {
+			//lint:allow-clock discriminates timeout from closure on the wall-clock deadline
 			if timeout >= 0 && time.Now().After(deadline) {
 				return nil, fmt.Errorf("transport: quorum timeout: have %d/%d %s messages for step %d",
 					c.Buffered(kind, step), q, kind, step)

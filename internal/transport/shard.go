@@ -319,6 +319,7 @@ func (c *ShardCollector) Collect(kind Kind, step, q int, self tensor.Vector, sel
 	}
 	var deadline time.Time
 	if timeout >= 0 {
+		//lint:allow-clock Recv timeouts are wall-clock by contract; liveness never decides values
 		deadline = time.Now().Add(timeout)
 	}
 	// One sweep up front consumes whatever previous collections buffered;
@@ -330,6 +331,7 @@ func (c *ShardCollector) Collect(kind Kind, step, q int, self tensor.Vector, sel
 	for b.folded < count {
 		wait := time.Duration(-1)
 		if timeout >= 0 {
+			//lint:allow-clock deadline bookkeeping for the wall-clock timeout above
 			wait = time.Until(deadline)
 			if wait <= 0 {
 				return nil, fmt.Errorf("transport: shard quorum timeout: %d/%d %s shards folded for step %d",
@@ -338,6 +340,7 @@ func (c *ShardCollector) Collect(kind Kind, step, q int, self tensor.Vector, sel
 		}
 		m, ok := c.ep.Recv(wait)
 		if !ok {
+			//lint:allow-clock discriminates timeout from closure on the wall-clock deadline
 			if timeout >= 0 && time.Now().After(deadline) {
 				return nil, fmt.Errorf("transport: shard quorum timeout: %d/%d %s shards folded for step %d",
 					b.folded, count, kind, step)
