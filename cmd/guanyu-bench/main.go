@@ -44,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		attacks  = fs.String("attacks", "", "scenario matrix only: comma-separated attack specs (default grid when empty)")
 		rules    = fs.String("rules", "", "scenario matrix only: comma-separated gradient GAR names")
 		faults   = fs.String("faults", "", "scenario matrix only: comma-separated fault profile specs")
+		churn    = fs.String("churn", "", "scenario matrix: comma-separated churn scenarios (none | crash | rolling | joinleave | kind:server@step,... schedules); soak: any non-empty value arms the kill/restart cycle")
 		parallel = fs.Int("parallel", 0, "worker count for kernels and concurrent curves (0 = all CPUs, 1 = serial; results are identical at any setting)")
 		shard    = fs.Int("shard", 0, "memory experiment only: shard size in coordinates (0 = per-dimension default)")
 		compAxis = fs.String("compress", "", "scenario matrix only: comma-separated compression specs (none | float32 | delta[:key=N] | topk:k=F)")
@@ -104,7 +105,7 @@ func run(args []string, out io.Writer) error {
 
 	// -smoke and the grid-axis flags change the matrix experiment's spec;
 	// runOne routes "matrix" through it so they apply under -exp all too.
-	customMatrix := *smoke || *attacks != "" || *rules != "" || *faults != "" || *compAxis != ""
+	customMatrix := *smoke || *attacks != "" || *rules != "" || *faults != "" || *compAxis != "" || *churn != ""
 	runOne := func(id string) error {
 		if id == "scale" {
 			// Routed here rather than through RunExperiment so -smoke picks the
@@ -132,8 +133,14 @@ func run(args []string, out io.Writer) error {
 		}
 		if id == "soak" {
 			// Routed here rather than through RunExperiment so -smoke picks the
-			// CI sizing and -metrics/-linger expose the live registry.
-			r, err := guanyu.Soak(scale, *smoke, *metrics, *linger)
+			// CI sizing, -metrics/-linger expose the live registry, and -churn
+			// arms the kill/restart cycle.
+			r, err := guanyu.Soak(scale, guanyu.SoakOptions{
+				Smoke:       *smoke,
+				MetricsAddr: *metrics,
+				Linger:      *linger,
+				Churn:       *churn != "",
+			})
 			if err != nil {
 				return err
 			}
@@ -164,6 +171,11 @@ func run(args []string, out io.Writer) error {
 			}
 			if *compAxis != "" {
 				spec.Compress = strings.Split(*compAxis, ",")
+			}
+			if *churn != "" {
+				// Semicolons separate scenarios so explicit schedules can keep
+				// their internal commas: -churn "none;crash:0@5,recover:0@9".
+				spec.Churn = strings.Split(*churn, ";")
 			}
 			r, err := guanyu.Matrix(scale, spec)
 			if err != nil {

@@ -53,6 +53,9 @@ type nodeConfig struct {
 	byzMode   string
 	faultSpec string
 	ckptPath  string
+	ckptDir   string
+	ckptEvery int
+	rejoin    bool
 	timeout   time.Duration
 	shardSize int
 	compress  string
@@ -78,6 +81,9 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		faultSpec = fs.String("faults", "none",
 			fmt.Sprintf("fault profile for THIS node's sends, name[:k=v,...] of %v (same spec+seed on all nodes = cluster-wide schedule)", guanyu.FaultNames()))
 		ckpt     = fs.String("checkpoint", "", "server only: write the final model here")
+		ckptDir  = fs.String("checkpoint-dir", "", "server only: persist protocol state (step, θ, horizon, momentum) into this directory every -checkpoint-every steps, atomically")
+		ckptEvr  = fs.Int("checkpoint-every", 10, "server only: checkpoint cadence in steps (with -checkpoint-dir)")
+		rejoin   = fs.Bool("rejoin", false, "server only: restart from the newest -checkpoint-dir snapshot and catch up by adopting the median of a live peer quorum (how a crashed ps<i> re-enters a running deployment)")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "per-quorum timeout")
 		parallel = fs.Int("parallel", 0, "kernel worker count for this node (0 = all CPUs, 1 = serial; results are identical at any setting)")
 		shard    = fs.Int("shard", 0, "stream vectors as chunk frames of this many coordinates (0 = whole-vector framing; arm every node identically)")
@@ -106,7 +112,8 @@ func parseFlags(args []string) (*nodeConfig, error) {
 		role: *role, id: *id, listen: *listen, peers: peerMap,
 		fServers: *fServers, fWorkers: *fWorkers,
 		steps: *steps, batch: *batch, seed: *seed, examples: *examples,
-		byzMode: *byzMode, faultSpec: *faultSpec, ckptPath: *ckpt, timeout: *timeout,
+		byzMode: *byzMode, faultSpec: *faultSpec, ckptPath: *ckpt,
+		ckptDir: *ckptDir, ckptEvery: *ckptEvr, rejoin: *rejoin, timeout: *timeout,
 		shardSize: *shard, compress: *comp, mailbox: *mbox, metrics: *metrics,
 	}, nil
 }
@@ -176,7 +183,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	res, err := guanyu.RunNode(context.Background(), guanyu.NodeConfig{
+	ncfg := guanyu.NodeConfig{
 		Role:        cfg.role,
 		ID:          cfg.id,
 		Listen:      cfg.listen,
@@ -193,6 +200,7 @@ func run(args []string, out io.Writer) error {
 		ShardSize:   cfg.shardSize,
 		Compression: cfg.compress,
 		Mailbox:     cfg.mailbox,
+		Rejoin:      cfg.rejoin,
 		OnListen: func(addr string) {
 			fmt.Fprintf(out, "%s listening on %s (%d servers, %d workers)\n",
 				cfg.id, addr, len(servers), len(workers))
@@ -201,7 +209,11 @@ func run(args []string, out io.Writer) error {
 		OnMetricsListen: func(addr string) {
 			fmt.Fprintf(out, "%s metrics on http://%s/metrics\n", cfg.id, addr)
 		},
-	})
+	}
+	if cfg.ckptDir != "" {
+		ncfg.Checkpoint = &guanyu.CheckpointSpec{Dir: cfg.ckptDir, Every: cfg.ckptEvery}
+	}
+	res, err := guanyu.RunNode(context.Background(), ncfg)
 	if err != nil {
 		return err
 	}

@@ -53,7 +53,11 @@ func run(args []string, out io.Writer) error {
 		shard     = fs.Int("shard", 0, "live runtime only: stream vectors as chunk frames of this many coordinates (0 = whole-vector framing; results are identical)")
 		comp      = fs.String("compress", "none", "wire compression for honest traffic: none | float32 | delta[:key=N] | topk:k=F")
 		mbox      = fs.String("mailbox", "none", "live runtime only: bound inbound mailboxes per sender, none | policy[:cap=N] with policy backpressure | drop-newest | drop-oldest")
+		ckptDir   = fs.String("checkpoint-dir", "", "live runtime only: honest servers persist protocol state into this directory every -checkpoint-every steps")
+		ckptEvr   = fs.Int("checkpoint-every", 10, "live runtime only: checkpoint cadence in steps (with -checkpoint-dir)")
+		rejoin    = fs.String("rejoin", "", "live runtime only: kill/restart cycle as server@step (e.g. 0@25): that honest server is killed once it completes the step and rejoins from its newest -checkpoint-dir snapshot via median catch-up")
 		soak      = fs.Bool("soak", false, "run the long-haul soak instead of one training run: thousands of live steps under flaky faults and an equivocating server, self-checking counters, liveness and memory")
+		soakChurn = fs.Bool("soak-churn", false, "-soak only: kill one honest server mid-run and restart it from its newest checkpoint with median rejoin")
 		metrics   = fs.String("metrics", "", "serve /metrics + /healthz on this address (live runtime or -soak; e.g. 127.0.0.1:9464)")
 		linger    = fs.Duration("linger", 0, "-soak only: keep the -metrics listener up this long after the run")
 	)
@@ -64,7 +68,9 @@ func run(args []string, out io.Writer) error {
 
 	if *soak {
 		scale := guanyu.ExperimentScale{Batch: *batch, Examples: *examples, Seed: *seed}
-		r, err := guanyu.Soak(scale, false, *metrics, *linger)
+		r, err := guanyu.Soak(scale, guanyu.SoakOptions{
+			MetricsAddr: *metrics, Linger: *linger, Churn: *soakChurn,
+		})
 		if err != nil {
 			return err
 		}
@@ -112,6 +118,16 @@ func run(args []string, out io.Writer) error {
 	if *mbox != "" {
 		opts = append(opts, guanyu.WithMailboxSpec(*mbox))
 	}
+	if *ckptDir != "" {
+		opts = append(opts, guanyu.WithCheckpointDir(*ckptDir, *ckptEvr))
+	}
+	if *rejoin != "" {
+		var server, step int
+		if _, err := fmt.Sscanf(*rejoin, "%d@%d", &server, &step); err != nil {
+			return fmt.Errorf("-rejoin: want server@step, got %q", *rejoin)
+		}
+		opts = append(opts, guanyu.WithRejoin(server, step))
+	}
 	if *metrics != "" {
 		opts = append(opts, guanyu.WithMetricsAddr(*metrics, func(addr string) {
 			fmt.Fprintf(out, "metrics listening on %s\n", addr)
@@ -158,6 +174,13 @@ func run(args []string, out io.Writer) error {
 	case "live":
 		fmt.Fprintf(out, "wall time:      %v (%d honest servers)\n",
 			res.WallTime.Round(time.Millisecond), len(res.ServerParams))
+		if *rejoin != "" {
+			verdict := "NO (the run outran the kill; lower -checkpoint-every or kill later)"
+			if res.ChurnRestarted {
+				verdict = "yes"
+			}
+			fmt.Fprintf(out, "restarted via checkpoint+rejoin: %s\n", verdict)
+		}
 	}
 	return nil
 }

@@ -2,7 +2,6 @@ package guanyu
 
 import (
 	"io"
-	"time"
 
 	"repro/internal/experiments"
 )
@@ -107,8 +106,8 @@ func DefaultMatrixSpec() MatrixSpec { return experiments.DefaultMatrixSpec() }
 // SmokeMatrixSpec is the smallest grid cell, sized for CI smoke jobs.
 func SmokeMatrixSpec() MatrixSpec { return experiments.SmokeMatrixSpec() }
 
-// Matrix runs the scenario-matrix experiment: every (attack, rule, fault)
-// cell as an independent deterministic simulation, concurrently, with
+// Matrix runs the scenario-matrix experiment: every (attack, rule, fault,
+// churn, compression) cell as an independent deterministic simulation, with
 // per-cell breakdowns captured in the result instead of aborting the grid.
 // Results are bit-identical at any parallelism and across reruns with the
 // same seed.
@@ -197,13 +196,20 @@ func ScaleBenchJSON(r *ScaleSweepResult) ([]byte, error) { return experiments.Sc
 // SoakResult is one soak run's measurements and verdicts.
 type SoakResult = experiments.SoakResult
 
+// SoakOptions selects a soak run's mode: CI sizing, the /metrics listener,
+// and the optional kill/restart churn cycle.
+type SoakOptions = experiments.SoakOptions
+
 // Soak runs the long-haul live deployment — an equivocating server, the
 // "flaky" fault profile on every link, bounded drop-oldest mailboxes — while
 // self-scraping its live metrics registry and checking counter
 // monotonicity, full liveness, and the scale experiment's peak-heap budget.
-// smoke selects the CI sizing. When metricsAddr is non-empty a /metrics +
-// /healthz listener serves the run's registry and stays up linger after the
-// run finishes, so external scrapers can read the final counters.
-func Soak(s ExperimentScale, smoke bool, metricsAddr string, linger time.Duration) (*SoakResult, error) {
-	return experiments.Soak(s, smoke, metricsAddr, linger)
+// opts.Smoke selects the CI sizing. When opts.MetricsAddr is non-empty a
+// /metrics + /healthz listener serves the run's registry and stays up
+// opts.Linger after the run finishes, so external scrapers can read the
+// final counters. opts.Churn kills one honest server mid-run and restarts
+// it from its newest checkpoint with median rejoin, and the verdict then
+// also requires the restart to have actually happened.
+func Soak(s ExperimentScale, opts SoakOptions) (*SoakResult, error) {
+	return experiments.Soak(s, opts)
 }

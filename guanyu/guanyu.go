@@ -85,6 +85,12 @@ type Deployment struct {
 	compression compress.Config
 	mailbox     transport.MailboxConfig
 
+	checkpointDir   string
+	checkpointEvery int
+	rejoinServer    int
+	rejoinKill      int
+	rejoinSet       bool
+
 	metricsAddr     string
 	onMetricsListen func(addr string)
 
@@ -208,6 +214,32 @@ func (d *Deployment) normalize() error {
 	}
 	if d.metricsAddr != "" && d.runtime != Live {
 		return fmt.Errorf("WithMetricsAddr applies to the Live runtime only (the simulator has no wall-clock run to scrape)")
+	}
+	if d.checkpointDir != "" && d.runtime != Live {
+		return fmt.Errorf("WithCheckpointDir applies to the Live runtime only (the simulator has no process state to persist)")
+	}
+	if d.rejoinSet {
+		if d.checkpointDir == "" {
+			return fmt.Errorf("WithRejoin requires WithCheckpointDir: the restart leg restores the newest on-disk snapshot")
+		}
+		if d.tcp {
+			return fmt.Errorf("WithRejoin drives the in-process Live network; TCP nodes restart as real processes (see NodeConfig.Rejoin)")
+		}
+		if d.shardSize > 0 {
+			return fmt.Errorf("WithRejoin needs whole-vector framing, not WithShardSize streaming")
+		}
+		if d.rejoinServer < 0 || d.rejoinServer >= d.numServers {
+			return fmt.Errorf("WithRejoin targets server %d of %d", d.rejoinServer, d.numServers)
+		}
+		if d.serverAttacks[d.rejoinServer] != nil {
+			return fmt.Errorf("WithRejoin victim %d is Byzantine; only honest servers churn", d.rejoinServer)
+		}
+		if d.rejoinKill <= 0 || d.rejoinKill >= d.steps {
+			return fmt.Errorf("WithRejoin kill step %d outside (0, %d)", d.rejoinKill, d.steps)
+		}
+		if d.checkpointEvery > d.rejoinKill {
+			return fmt.Errorf("WithRejoin kill step %d precedes the first checkpoint (cadence %d)", d.rejoinKill, d.checkpointEvery)
+		}
 	}
 	return nil
 }

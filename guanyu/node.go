@@ -18,6 +18,10 @@ import (
 func serverID(i int) string { return cluster.ServerID(i) }
 func workerID(j int) string { return cluster.WorkerID(j) }
 
+// CheckpointSpec names a server's checkpoint directory and cadence (see
+// NodeConfig.Checkpoint and WithCheckpointDir).
+type CheckpointSpec = cluster.CheckpointSpec
+
 // NodeConfig describes ONE node of a multi-process deployment: a single
 // parameter server or worker running in its own OS process over TCP, so a
 // full deployment is N independent processes exactly as on the paper's
@@ -79,6 +83,20 @@ type NodeConfig struct {
 	// arming nodes individually is meaningful, but arm every node to bound
 	// the whole deployment.
 	Mailbox string
+	// Checkpoint, when non-nil, makes a server persist its protocol state
+	// — step counter, parameters, collector horizon, momentum — into
+	// Checkpoint.Dir every Checkpoint.Every steps, atomically
+	// (write-then-rename, one file per node ID). Servers only.
+	Checkpoint *CheckpointSpec
+	// Rejoin, with Checkpoint set, restarts this server elastically: the
+	// newest on-disk snapshot is restored before the loop starts, and the
+	// node catches up by adopting the coordinate-wise median of a live
+	// peer quorum at whatever step the cluster has reached, falling back
+	// to the plain restored state if no quorum materialises within
+	// Timeout. This is how a crashed ps<i> process re-enters a running
+	// deployment under the same ID. Requires whole-vector framing
+	// (ShardSize 0). Servers only.
+	Rejoin bool
 	// Timeout bounds each quorum wait (default 5 minutes).
 	Timeout time.Duration
 	// LR overrides the learning-rate schedule (servers only; default
@@ -147,6 +165,23 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 	if cfg.Steps <= 0 || cfg.Batch <= 0 {
 		return nil, fmt.Errorf("guanyu: node Steps and Batch must be positive (got %d, %d)",
 			cfg.Steps, cfg.Batch)
+	}
+	if cfg.Role == "worker" && (cfg.Checkpoint != nil || cfg.Rejoin) {
+		return nil, fmt.Errorf("guanyu: checkpoint/rejoin are server-side (workers are stateless; restart them cold)")
+	}
+	if cfg.Checkpoint != nil && (cfg.Checkpoint.Dir == "" || cfg.Checkpoint.Every < 1) {
+		return nil, fmt.Errorf("guanyu: node checkpointing needs a directory and a positive cadence")
+	}
+	if cfg.Rejoin {
+		if cfg.Checkpoint == nil {
+			return nil, fmt.Errorf("guanyu: Rejoin requires Checkpoint: the restart restores the newest on-disk snapshot")
+		}
+		if cfg.ShardSize > 0 {
+			return nil, fmt.Errorf("guanyu: Rejoin needs whole-vector framing (ShardSize 0)")
+		}
+		if cfg.Attack != nil {
+			return nil, fmt.Errorf("guanyu: Rejoin is an honest-recovery path; a Byzantine node needs no catch-up")
+		}
 	}
 	servers, workers, err := SplitPeers(cfg.Peers)
 	if err != nil {
@@ -265,7 +300,7 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 				peersOnly = append(peersOnly, id)
 			}
 		}
-		theta, err := cluster.RunServer(ep, cluster.ServerConfig{
+		scfg := cluster.ServerConfig{
 			ID: cfg.ID, Workers: workers, Peers: peersOnly,
 			Init:            w.Model.ParamVector(),
 			GradRule:        igar.MultiKrum{F: cfg.FWorkers},
@@ -278,7 +313,19 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			Attack:          cfg.Attack,
 			ShardSize:       cfg.ShardSize,
 			Metrics:         handle,
-		})
+		}
+		if cfg.Attack == nil {
+			scfg.Checkpoint = cfg.Checkpoint
+		}
+		if cfg.Rejoin {
+			ckpt, err := cluster.LoadCheckpoint(cfg.Checkpoint.Dir, cfg.ID)
+			if err != nil {
+				return nil, fmt.Errorf("guanyu: node rejoin: %w", err)
+			}
+			scfg.Restore = &ckpt
+			scfg.Rejoin = true
+		}
+		theta, err := cluster.RunServer(ep, scfg)
 		if err != nil {
 			return nil, wrapCancelled(ctx, err)
 		}

@@ -280,6 +280,45 @@ func WithCompression(spec string) Option {
 	}
 }
 
+// WithCheckpointDir makes every honest server of the Live runtime persist
+// its protocol state — step counter, parameters, collector horizon,
+// momentum — into dir every `every` steps, atomically (write-then-rename,
+// one file per server ID; see the cluster checkpoint codec). The snapshots
+// are what WithRejoin and NodeConfig.Rejoin restart from.
+func WithCheckpointDir(dir string, every int) Option {
+	return func(d *Deployment) error {
+		if dir == "" {
+			return fmt.Errorf("WithCheckpointDir: empty directory")
+		}
+		if every < 1 {
+			return fmt.Errorf("WithCheckpointDir: cadence must be ≥ 1 step, got %d", every)
+		}
+		d.checkpointDir, d.checkpointEvery = dir, every
+		return nil
+	}
+}
+
+// WithRejoin arms the Live in-process runtime's crash-recovery cycle: the
+// given honest server is killed mid-protocol once it completes killAtStep,
+// then restarts under the same ID from its newest WithCheckpointDir
+// snapshot and catches up by adopting the coordinate-wise median of a live
+// peer quorum (elastic rejoin — the contraction argument's recovery path).
+// The rest of the deployment rides the outage on its quorum slack, so
+// declare quorums with room (e.g. f=0 with n=6 leaves q=3 of 5 live).
+// Result.ChurnRestarted reports whether the kill actually fired.
+func WithRejoin(server, killAtStep int) Option {
+	return func(d *Deployment) error {
+		if server < 0 {
+			return fmt.Errorf("WithRejoin: negative server index %d", server)
+		}
+		if killAtStep <= 0 {
+			return fmt.Errorf("WithRejoin: kill step must be positive, got %d", killAtStep)
+		}
+		d.rejoinServer, d.rejoinKill, d.rejoinSet = server, killAtStep, true
+		return nil
+	}
+}
+
 // WithTimeout bounds each quorum wait in the Live runtime (default 30 s;
 // negative waits forever — the faithful asynchronous setting).
 func WithTimeout(t time.Duration) Option {

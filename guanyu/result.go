@@ -60,6 +60,10 @@ type Result struct {
 	// DroppedUnnegotiated totals inbound compressed frames dropped for
 	// using a scheme their sender never negotiated. Live TCP only.
 	DroppedUnnegotiated uint64
+	// ChurnRestarted reports that the WithRejoin victim was actually
+	// killed and came back through checkpoint + median rejoin (false when
+	// the run outran the kill, or no rejoin cycle was armed). Live only.
+	ChurnRestarted bool
 }
 
 // CurveTable renders the convergence curve as the experiment harness's

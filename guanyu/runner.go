@@ -120,6 +120,7 @@ func (liveRunner) Run(ctx context.Context, d *Deployment) (*Result, error) {
 		final        tensor.Vector
 		serverParams map[int]tensor.Vector
 		drops        liveDrops
+		restarted    bool
 		err          error
 	)
 	if d.tcp {
@@ -152,11 +153,23 @@ func (liveRunner) Run(ctx context.Context, d *Deployment) (*Result, error) {
 			Mailbox:       d.mailbox,
 			Metrics:       reg,
 		}
+		if d.checkpointDir != "" {
+			cfg.Checkpoint = &cluster.CheckpointSpec{Dir: d.checkpointDir, Every: d.checkpointEvery}
+		}
+		if d.rejoinSet {
+			cfg.Churn = &cluster.LiveChurn{
+				Server:          d.rejoinServer,
+				KillAtStep:      d.rejoinKill,
+				CheckpointEvery: d.checkpointEvery,
+				Dir:             d.checkpointDir,
+			}
+		}
 		var res *cluster.LiveResult
 		res, err = cluster.RunLiveContext(ctx, cfg)
 		if err == nil {
 			final, serverParams = res.Final, res.ServerParams
 			drops.overflow, drops.closed = res.DroppedOverflow, res.DroppedClosed
+			restarted = res.ChurnRestarted
 		}
 	}
 	if err != nil {
@@ -172,6 +185,7 @@ func (liveRunner) Run(ctx context.Context, d *Deployment) (*Result, error) {
 		DroppedClosed:       drops.closed,
 		ForgedDropped:       drops.forged,
 		DroppedUnnegotiated: drops.unnegotiated,
+		ChurnRestarted:      restarted,
 	}
 	if d.workload.Test != nil {
 		eval := d.workload.Model.Clone()
@@ -324,6 +338,9 @@ func runLiveTCP(ctx context.Context, d *Deployment, reg *metrics.Registry) (
 		}
 		if scfg.Attack == nil {
 			scfg.Suspicion = d.suspicion
+			if d.checkpointDir != "" {
+				scfg.Checkpoint = &cluster.CheckpointSpec{Dir: d.checkpointDir, Every: d.checkpointEvery}
+			}
 		}
 		idx := i
 		var sep transport.Endpoint = nodes[scfg.ID]

@@ -104,6 +104,56 @@ type LiveConfig struct {
 	// increments, and node loops publish step/liveness progress — the
 	// registry a /metrics + /healthz listener scrapes mid-run.
 	Metrics *metrics.Registry
+	// Checkpoint, when non-nil, makes every honest server persist its
+	// protocol state into Checkpoint.Dir every Checkpoint.Every steps
+	// (atomic write-then-rename, one file per server ID — see
+	// CheckpointSpec). Byzantine servers never checkpoint: recovery is an
+	// honest-node concern.
+	Checkpoint *CheckpointSpec
+	// Churn, when non-nil, puts one honest server through a live
+	// crash-recovery cycle: it checkpoints periodically, is killed
+	// mid-protocol once it reaches KillAtStep, and restarts under the same
+	// ID from its newest on-disk checkpoint with median rejoin. The rest of
+	// the deployment rides the outage on its quorum slack. The victim uses
+	// the churn cycle's own checkpoint cadence, independent of Checkpoint.
+	Churn *LiveChurn
+}
+
+// LiveChurn configures the kill/restart cycle of LiveConfig.Churn.
+type LiveChurn struct {
+	// Server is the honest server index to kill and restart.
+	Server int
+	// KillAtStep kills the victim once its live step counter reaches this
+	// step (0 < KillAtStep < Steps).
+	KillAtStep int
+	// CheckpointEvery is the victim's checkpoint cadence in steps; it must
+	// be ≤ KillAtStep so at least one checkpoint is on disk at the kill.
+	CheckpointEvery int
+	// Dir is the victim's checkpoint directory.
+	Dir string
+}
+
+// validate checks the churn cycle against the deployment.
+func (c *LiveChurn) validate(cfg *LiveConfig) error {
+	if c.Server < 0 || c.Server >= cfg.NumServers {
+		return fmt.Errorf("cluster: churn targets server %d of %d", c.Server, cfg.NumServers)
+	}
+	if cfg.ServerAttacks[c.Server] != nil {
+		return fmt.Errorf("cluster: churn victim %d is Byzantine; only honest servers churn", c.Server)
+	}
+	if c.KillAtStep <= 0 || c.KillAtStep >= cfg.Steps {
+		return fmt.Errorf("cluster: churn kill step %d outside (0, %d)", c.KillAtStep, cfg.Steps)
+	}
+	if c.CheckpointEvery < 1 || c.CheckpointEvery > c.KillAtStep {
+		return fmt.Errorf("cluster: churn checkpoint cadence %d outside [1, kill step %d]", c.CheckpointEvery, c.KillAtStep)
+	}
+	if c.Dir == "" {
+		return fmt.Errorf("cluster: churn needs a checkpoint directory")
+	}
+	if cfg.ShardSize > 0 {
+		return fmt.Errorf("cluster: churn rejoin needs whole-vector framing, not sharded streaming")
+	}
+	return nil
 }
 
 // Validate checks the deployment against the theoretical requirements of the
@@ -189,6 +239,10 @@ type LiveResult struct {
 	// DroppedClosed totals the frames that arrived at nodes after they had
 	// shut down — the tail traffic of senders outliving receivers.
 	DroppedClosed uint64
+	// ChurnRestarted reports that the configured churn victim was actually
+	// killed and came back through the checkpoint-restore + rejoin leg
+	// (false when the run outran the kill, or no churn was configured).
+	ChurnRestarted bool
 }
 
 // RunLive executes the deployment to completion and returns the honest
@@ -215,6 +269,14 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 	}
 	if err := cfg.Mailbox.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Checkpoint != nil && (cfg.Checkpoint.Dir == "" || cfg.Checkpoint.Every < 1) {
+		return nil, fmt.Errorf("cluster: checkpointing needs a directory and a positive cadence")
+	}
+	if cfg.Churn != nil {
+		if err := cfg.Churn.validate(&cfg); err != nil {
+			return nil, err
+		}
 	}
 
 	network := transport.NewChanNetwork(cfg.Delay)
@@ -305,10 +367,11 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 		theta tensor.Vector
 	}
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		outs    []serverOut
-		runErrs []error
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		outs      []serverOut
+		runErrs   []error
+		restarted bool
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -349,8 +412,29 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 		if scfg.Attack == nil {
 			scfg.Suspicion = cfg.Suspicion // honest servers report exclusions
 			scfg.Trace = cfg.Trace
+			scfg.Checkpoint = cfg.Checkpoint
 		}
 		idx := i
+		if cfg.Churn != nil && i == cfg.Churn.Server {
+			// The churn victim manages its own endpoints: it is killed
+			// mid-run and re-registers the same ID for the recovery leg.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				theta, again, err := runChurnServer(network, ep, scfg, cfg.Churn, wrapHonest)
+				mu.Lock()
+				restarted = again
+				mu.Unlock()
+				if err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				outs = append(outs, serverOut{index: idx, theta: theta})
+				mu.Unlock()
+			}()
+			continue
+		}
 		sep := ep
 		if scfg.Attack == nil {
 			// Faults and compression hit honest traffic only — the
@@ -424,7 +508,7 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 		return nil, fmt.Errorf("cluster: run failed: %w (and %d more)", runErrs[0], len(runErrs)-1)
 	}
 
-	res := &LiveResult{ServerParams: make(map[int]tensor.Vector, len(outs))}
+	res := &LiveResult{ServerParams: make(map[int]tensor.Vector, len(outs)), ChurnRestarted: restarted}
 	// Settle in-flight delayed deliveries before reading the drop counters
 	// (the deferred Close is then a no-op).
 	network.Close()
@@ -450,6 +534,98 @@ func RunLiveContext(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 	}
 	res.Final = final
 	return res, nil
+}
+
+// runChurnServer is one server's crash-recovery cycle inside a live run:
+// run with periodic checkpointing until the live step counter reaches the
+// kill step, tear the node down mid-protocol (mailbox closed, ID released),
+// then re-register the same ID, restore the newest on-disk checkpoint and
+// rejoin by adopting the median of a live peer quorum (ServerConfig.Rejoin).
+// Returns the final parameters of whichever incarnation finished the run and
+// whether the restart leg actually ran (false when the victim outran the
+// kill — possible on tiny runs that finish before the watcher fires).
+func runChurnServer(network *transport.ChanNetwork, ep transport.Endpoint, scfg ServerConfig,
+	churn *LiveChurn, wrap func(transport.Endpoint, *metrics.NodeMetrics) (transport.Endpoint, error)) (tensor.Vector, bool, error) {
+
+	vm := scfg.Metrics
+	if vm == nil {
+		// The kill trigger watches the live step counter, so the victim
+		// always runs with a handle even when the deployment has no registry.
+		vm = &metrics.NodeMetrics{}
+		scfg.Metrics = vm
+		network.SetNodeMetrics(scfg.ID, vm)
+	}
+	scfg.Checkpoint = &CheckpointSpec{Dir: churn.Dir, Every: churn.CheckpointEvery}
+
+	sep, err := wrap(ep, vm)
+	if err != nil {
+		return nil, false, err
+	}
+	done := make(chan struct{})
+	var (
+		firstTheta tensor.Vector
+		firstErr   error
+	)
+	go func() {
+		defer close(done)
+		firstTheta, firstErr = RunServer(sep, scfg)
+	}()
+
+	// Kill trigger: poll the victim's live step counter, bounded by the
+	// worst-case time the quorum discipline allows for reaching the kill
+	// step (one full timeout per step).
+	//lint:allow-clock the kill deadline bounds a wall-clock wait, like quorum timeouts
+	deadline := time.Now().Add(time.Duration(churn.KillAtStep+1) * scfg.Timeout)
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	for vm.LastStep() < churn.KillAtStep {
+		//lint:allow-clock see deadline above
+		if time.Now().After(deadline) {
+			network.Unregister(scfg.ID)
+			sep.Close()
+			<-done
+			return nil, false, fmt.Errorf("cluster: churn victim %s never reached kill step %d", scfg.ID, churn.KillAtStep)
+		}
+		select {
+		case <-done:
+			// The run ended before the kill fired (tiny runs, or a failure
+			// elsewhere tearing the network down): no restart to perform.
+			return firstTheta, false, firstErr
+		case <-tick.C:
+		}
+	}
+	network.Unregister(scfg.ID) // the crash: mailbox dies, ID is released
+	sep.Close()
+	<-done
+	if firstErr == nil {
+		// The victim outran the kill and finished the whole run; its final
+		// parameters already stand.
+		return firstTheta, false, nil
+	}
+
+	// Recovery: same ID, newest checkpoint, median rejoin.
+	ckpt, err := LoadCheckpoint(churn.Dir, scfg.ID)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: churn restart of %s: %w", scfg.ID, err)
+	}
+	ep2, err := network.Register(scfg.ID)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: churn restart of %s: %w", scfg.ID, err)
+	}
+	network.SetNodeMetrics(scfg.ID, vm)
+	rcfg := scfg
+	rcfg.Restore = &ckpt
+	rcfg.Rejoin = true
+	sep2, err := wrap(ep2, vm)
+	if err != nil {
+		return nil, false, err
+	}
+	defer sep2.Close()
+	theta, err := RunServer(sep2, rcfg)
+	if err != nil {
+		return nil, true, fmt.Errorf("cluster: churned server %s failed after restart: %w", scfg.ID, err)
+	}
+	return theta, true, nil
 }
 
 // AdversaryViews builds the shared omniscient views for an in-process

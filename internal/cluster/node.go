@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -67,6 +68,16 @@ func send(ep transport.Endpoint, att attack.Attack, kind transport.Kind,
 // order (nil for per-shard quorums), the streamer's selected indices when
 // the rule is selective (Multi-Krum's accountability signal), and the
 // aggregated vector.
+//
+// Pinned-quorum liveness failover: a pinned membership needs every pinned
+// member's every shard to arrive within the round, so a pinned member that
+// crashes mid-round stalls the collection where a whole-vector quorum
+// would have substituted another sender. When a pinned collection times
+// out, the round is reset (transport.ShardCollector.ResetRound) and
+// retried once with a fresh streamer — the retry's first-q pin is drawn
+// from the senders still alive, which in a churning deployment is the
+// epoch's surviving (or next) roster. A second timeout is returned to the
+// caller: at that point the deployment is below quorum, not unlucky.
 func collectStreamed(col *transport.ShardCollector, kind transport.Kind, step, q int,
 	self tensor.Vector, selfID string, rule gar.StreamingRule, timeout time.Duration,
 ) (senders []string, kept []int, out tensor.Vector, err error) {
@@ -75,6 +86,11 @@ func collectStreamed(col *transport.ShardCollector, kind transport.Kind, step, q
 		return st.Fold(lo, hi, inputs)
 	}
 	senders, err = col.Collect(kind, step, q, self, selfID, rule.PinnedQuorum(), fold, timeout)
+	if err != nil && rule.PinnedQuorum() && errors.Is(err, transport.ErrQuorumTimeout) {
+		col.ResetRound(kind, step)
+		st = rule.NewStreamer(col.Layout.Dim)
+		senders, err = col.Collect(kind, step, q, self, selfID, true, fold, timeout)
+	}
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -121,6 +137,13 @@ type NodeStats struct {
 	// DroppedClosed counts inbound frames that arrived after the node's
 	// mailbox closed. Zero without a Metrics handle.
 	DroppedClosed uint64
+	// DroppedRoster counts frames discarded because their sender was not
+	// a member of the roster in force at the frame's step.
+	DroppedRoster int
+	// DroppedUnadmitted counts hello handshakes the admission check
+	// refused. Zero without a Metrics handle (the counter lives on the
+	// transport).
+	DroppedUnadmitted uint64
 	// Steps is how many protocol steps the node completed. Zero without
 	// a Metrics handle.
 	Steps uint64
@@ -139,10 +162,12 @@ func recordStats(st *NodeStats, col *transport.Collector, scol *transport.ShardC
 	case scol != nil:
 		st.DroppedFuture = scol.DroppedFuture()
 		st.DroppedMalformed = scol.DroppedMalformed()
+		st.DroppedRoster = scol.DroppedRoster()
 		st.PeakBytes = scol.PeakBytes()
 	case col != nil:
 		st.DroppedFuture = col.DroppedFuture()
 		st.DroppedMalformed = col.DroppedMalformed()
+		st.DroppedRoster = col.DroppedRoster()
 		st.PeakBytes = col.PeakBytes()
 	}
 	if m == nil {
@@ -150,6 +175,7 @@ func recordStats(st *NodeStats, col *transport.Collector, scol *transport.ShardC
 	}
 	st.DroppedFuture = int(m.DroppedFuture.Load())
 	st.DroppedMalformed = int(m.DroppedMalformed.Load())
+	st.DroppedRoster = int(m.DroppedRoster.Load())
 	if pb := m.PeakBytes(); pb > st.PeakBytes {
 		st.PeakBytes = pb
 	}
@@ -157,6 +183,7 @@ func recordStats(st *NodeStats, col *transport.Collector, scol *transport.ShardC
 	st.DroppedUnnegotiated = m.DroppedUnnegotiated.Load()
 	st.DroppedOverflow = m.DroppedOverflow.Load()
 	st.DroppedClosed = m.DroppedClosed.Load()
+	st.DroppedUnadmitted = m.DroppedUnadmitted.Load()
 	st.Steps = m.Steps.Load()
 }
 
@@ -228,6 +255,32 @@ type ServerConfig struct {
 	// (TCPNode.SetMetrics, ChanNetwork.SetNodeMetrics, Couriers.SetMetrics)
 	// to fold the wire-level drops into the same view.
 	Metrics *metrics.NodeMetrics
+	// Checkpoint, when non-nil with a positive cadence, persists the
+	// server's resumable state (step, θ, velocity, horizon) into
+	// Checkpoint.Dir every Checkpoint.Every steps, atomically — see
+	// checkpoint.go. A persistence failure aborts the run: a server that
+	// silently stops checkpointing would advertise crash-recovery it no
+	// longer has.
+	Checkpoint *CheckpointSpec
+	// Restore, when non-nil, resumes the loop from a previously persisted
+	// state instead of Init: θ (and velocity) are adopted and the loop
+	// starts at Restore.Step+1. The checkpoint's ID and dimension must
+	// match the config's.
+	Restore *Checkpoint
+	// Rejoin, with Restore set, makes the restart elastic: before
+	// resuming, the server listens to the live contraction-round traffic
+	// and adopts the coordinate-wise median of QuorumParams−1 peers'
+	// states at whatever step the cluster has reached (RejoinMedian),
+	// falling back to the plain Restore state if no quorum materialises
+	// within Timeout. Requires whole-vector framing (ShardSize 0): the
+	// discovery phase must buffer, not consume, the frames of the step it
+	// resumes into.
+	Rejoin bool
+	// Roster, when non-nil, scopes every quorum to the membership in
+	// force at each frame's step (see Roster in checkpoint.go): frames
+	// from senders outside that epoch's roster are dropped and counted,
+	// never aggregated.
+	Roster *Roster
 }
 
 // RunServer executes the server loop and returns the node's final parameter
@@ -264,6 +317,13 @@ func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
 			col.Metrics = cfg.Metrics
 		}
 	}
+	if cfg.Roster != nil {
+		if scol != nil {
+			scol.Membership = cfg.Roster.Allows
+		} else {
+			col.Membership = cfg.Roster.Allows
+		}
+	}
 	defer recordStats(cfg.Stats, col, scol, cfg.Metrics)
 	theta := tensor.Clone(cfg.Init)
 	var velocity tensor.Vector
@@ -271,7 +331,54 @@ func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
 		velocity = make(tensor.Vector, dim)
 	}
 
-	for t := 0; t < cfg.Steps; t++ {
+	start := 0
+	if cfg.Restore != nil {
+		r := cfg.Restore
+		if r.ID != cfg.ID {
+			return nil, fmt.Errorf("server %s: restore checkpoint belongs to %q", cfg.ID, r.ID)
+		}
+		if len(r.Theta) != dim {
+			return nil, fmt.Errorf("server %s: restore dimension %d, deployment is %d", cfg.ID, len(r.Theta), dim)
+		}
+		theta = tensor.Clone(r.Theta)
+		start = r.Step + 1
+		if cfg.Momentum > 0 && r.Velocity != nil {
+			if len(r.Velocity) != dim {
+				return nil, fmt.Errorf("server %s: restore velocity dimension %d, deployment is %d", cfg.ID, len(r.Velocity), dim)
+			}
+			velocity = tensor.Clone(r.Velocity)
+		}
+		if col != nil && r.Horizon > 0 {
+			col.Horizon = r.Horizon
+		}
+		if cfg.Rejoin {
+			if col == nil {
+				return nil, fmt.Errorf("server %s: median rejoin requires whole-vector framing (ShardSize 0)", cfg.ID)
+			}
+			// Catch up to wherever the live cluster is: adopt the median
+			// of a peer-params quorum at the first step ≥ our checkpoint
+			// that completes one. Discovery shares the loop's collector,
+			// so frames for the resumed step stay buffered for phase 3.
+			// No quorum before the timeout means the cluster is not ahead
+			// of us (or not alive): resume from the checkpoint alone.
+			med, at, err := RejoinMedian(col, start, cfg.QuorumParams-1, dim, cfg.Timeout)
+			switch {
+			case err == nil:
+				theta = med
+				start = at + 1
+				if cfg.Momentum > 0 {
+					velocity = make(tensor.Vector, dim) // stale momentum would fight the adopted state
+				}
+				cfg.Trace.Recordf(cfg.ID, at, trace.EventUpdate, "rejoined via median of %d peers", cfg.QuorumParams-1)
+			case errors.Is(err, transport.ErrQuorumTimeout):
+				cfg.Trace.Recordf(cfg.ID, start, trace.EventUpdate, "rejoin quorum timeout; resuming from checkpoint")
+			default:
+				return nil, fmt.Errorf("server %s: %w", cfg.ID, err)
+			}
+		}
+	}
+
+	for t := start; t < cfg.Steps; t++ {
 		if scol != nil {
 			scol.Advance(t)
 		} else {
@@ -389,6 +496,17 @@ func RunServer(ep transport.Endpoint, cfg ServerConfig) (tensor.Vector, error) {
 				}
 			}
 		}
+		if cfg.Checkpoint != nil && cfg.Checkpoint.Every > 0 && (t+1)%cfg.Checkpoint.Every == 0 {
+			horizon := 0
+			if col != nil {
+				horizon = col.Horizon
+			}
+			ckpt := Checkpoint{ID: cfg.ID, Step: t, Theta: theta, Velocity: velocity, Horizon: horizon}
+			if err := ckpt.WriteFile(cfg.Checkpoint.Dir); err != nil {
+				return nil, fmt.Errorf("server %s step %d: %w", cfg.ID, t, err)
+			}
+			cfg.Trace.Recordf(cfg.ID, t, trace.EventUpdate, "checkpoint written to %s", cfg.Checkpoint.Dir)
+		}
 		if cfg.Metrics != nil {
 			cfg.Metrics.StepDone(t)
 		}
@@ -432,6 +550,9 @@ type WorkerConfig struct {
 	Stats *NodeStats
 	// Metrics mirrors ServerConfig.Metrics.
 	Metrics *metrics.NodeMetrics
+	// Roster mirrors ServerConfig.Roster: parameter vectors from servers
+	// outside the roster in force at their step are dropped and counted.
+	Roster *Roster
 }
 
 // RunWorker executes the worker loop.
@@ -458,6 +579,13 @@ func RunWorker(ep transport.Endpoint, cfg WorkerConfig) error {
 			scol.Metrics = cfg.Metrics
 		} else {
 			col.Metrics = cfg.Metrics
+		}
+	}
+	if cfg.Roster != nil {
+		if scol != nil {
+			scol.Membership = cfg.Roster.Allows
+		} else {
+			col.Membership = cfg.Roster.Allows
 		}
 	}
 	defer recordStats(cfg.Stats, col, scol, cfg.Metrics)

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/attack"
+)
+
+// ChurnKind is one kind of membership/liveness change.
+type ChurnKind int
+
+// Churn event kinds. Crash and Recover model a fail-recovery server (silent
+// while down, frozen state, rejoins by adopting the live median); Join and
+// Leave model roster changes (a server entering or exiting the deployment at
+// a step boundary).
+const (
+	ChurnCrash ChurnKind = iota + 1
+	ChurnRecover
+	ChurnJoin
+	ChurnLeave
+)
+
+// String implements fmt.Stringer.
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnCrash:
+		return "crash"
+	case ChurnRecover:
+		return "recover"
+	case ChurnJoin:
+		return "join"
+	case ChurnLeave:
+		return "leave"
+	default:
+		return "unknown"
+	}
+}
+
+// ChurnEvent is one membership change, effective at the start of Step:
+// a crashed or departed server contributes +Inf arrivals (silence) from that
+// step on; a recovering or joining server adopts the coordinate-wise median
+// of the live honest servers' parameters — the simulator's analogue of the
+// live cluster's median rejoin — and participates from that step on.
+type ChurnEvent struct {
+	// Step is the boundary at which the event takes effect (0-based; the
+	// event is applied before step Step executes).
+	Step int
+	// Kind is the change.
+	Kind ChurnKind
+	// Server is the server index the change applies to. Only honest servers
+	// may churn: the adversary's nodes are assumed always-on (an adversary
+	// that crashes its own machines only helps the honest quorums).
+	Server int
+}
+
+// ChurnPlan is a deterministic schedule of membership changes applied to the
+// simulated server population at step boundaries. The zero value (or nil)
+// applies no churn. A server whose first event is a join is absent from the
+// start of the run.
+type ChurnPlan struct {
+	// Events is the schedule. Order is irrelevant; at most one event per
+	// (server, step) pair.
+	Events []ChurnEvent
+}
+
+// initialAbsent returns the servers absent at the start of the run: those
+// whose earliest event is a join.
+func (p *ChurnPlan) initialAbsent() []int {
+	first := make(map[int]ChurnEvent)
+	for _, ev := range p.Events {
+		got, ok := first[ev.Server]
+		if !ok || ev.Step < got.Step {
+			first[ev.Server] = ev
+		}
+	}
+	absent := make([]int, 0, len(first))
+	for i, ev := range first {
+		if ev.Kind == ChurnJoin {
+			absent = append(absent, i)
+		}
+	}
+	sort.Ints(absent)
+	return absent
+}
+
+// byStep indexes the schedule by effective step, with down-events (crash,
+// leave) ordered before up-events (recover, join) within a boundary so a
+// same-step recovery adopts state from the post-crash live set, and ties
+// broken by server index for determinism.
+func (p *ChurnPlan) byStep() map[int][]ChurnEvent {
+	out := make(map[int][]ChurnEvent)
+	for _, ev := range p.Events {
+		out[ev.Step] = append(out[ev.Step], ev)
+	}
+	down := func(k ChurnKind) bool { return k == ChurnCrash || k == ChurnLeave }
+	for _, evs := range out {
+		sort.Slice(evs, func(a, b int) bool {
+			da, db := down(evs[a].Kind), down(evs[b].Kind)
+			if da != db {
+				return da
+			}
+			return evs[a].Server < evs[b].Server
+		})
+	}
+	return out
+}
+
+// Validate checks the schedule against the deployment: every event in range
+// and on an honest server, per-server transitions well-formed (crash only
+// while up, recover only while crashed, join only while absent, leave only
+// while up), and — the liveness bound — at every boundary the number of live
+// honest servers stays at least q, so churn consumes the crash-fault margin
+// the quorum discipline already budgets for and never strands a receiver.
+func (p *ChurnPlan) Validate(numServers, steps, q int, attacks map[int]attack.Attack) error {
+	if p == nil || len(p.Events) == 0 {
+		return nil
+	}
+	type slot struct{ server, step int }
+	seen := make(map[slot]bool, len(p.Events))
+	for _, ev := range p.Events {
+		if ev.Step < 0 || ev.Step >= steps {
+			return fmt.Errorf("core: churn %s of server %d at step %d outside run of %d steps", ev.Kind, ev.Server, ev.Step, steps)
+		}
+		if ev.Server < 0 || ev.Server >= numServers {
+			return fmt.Errorf("core: churn %s at step %d targets server %d of %d", ev.Kind, ev.Step, ev.Server, numServers)
+		}
+		if attacks[ev.Server] != nil {
+			return fmt.Errorf("core: churn %s at step %d targets Byzantine server %d; only honest servers churn", ev.Kind, ev.Step, ev.Server)
+		}
+		s := slot{ev.Server, ev.Step}
+		if seen[s] {
+			return fmt.Errorf("core: two churn events for server %d at step %d", ev.Server, ev.Step)
+		}
+		seen[s] = true
+	}
+
+	// Replay the schedule through each server's state machine and track the
+	// live honest population.
+	const (
+		up = iota
+		crashed
+		absent
+	)
+	state := make(map[int]int)
+	live := 0
+	for i := 0; i < numServers; i++ {
+		if attacks[i] == nil {
+			state[i] = up
+			live++
+		}
+	}
+	for _, i := range p.initialAbsent() {
+		state[i] = absent
+		live--
+	}
+	if live < q {
+		return fmt.Errorf("core: churn plan starts with %d live honest servers, quorum needs %d", live, q)
+	}
+	byStep := p.byStep()
+	stepsWithEvents := make([]int, 0, len(byStep))
+	for t := range byStep {
+		stepsWithEvents = append(stepsWithEvents, t)
+	}
+	sort.Ints(stepsWithEvents)
+	for _, t := range stepsWithEvents {
+		for _, ev := range byStep[t] {
+			st := state[ev.Server]
+			switch ev.Kind {
+			case ChurnCrash:
+				if st != up {
+					return fmt.Errorf("core: crash of server %d at step %d: server is not up", ev.Server, t)
+				}
+				state[ev.Server] = crashed
+				live--
+			case ChurnRecover:
+				if st != crashed {
+					return fmt.Errorf("core: recover of server %d at step %d: server is not crashed", ev.Server, t)
+				}
+				state[ev.Server] = up
+				live++
+			case ChurnJoin:
+				if st != absent {
+					return fmt.Errorf("core: join of server %d at step %d: server is already present", ev.Server, t)
+				}
+				state[ev.Server] = up
+				live++
+			case ChurnLeave:
+				if st != up {
+					return fmt.Errorf("core: leave of server %d at step %d: server is not up", ev.Server, t)
+				}
+				state[ev.Server] = absent
+				live--
+			default:
+				return fmt.Errorf("core: unknown churn kind %d", ev.Kind)
+			}
+		}
+		if live < q {
+			return fmt.Errorf("core: churn at step %d leaves %d live honest servers, quorum needs %d", t, live, q)
+		}
+	}
+	return nil
+}
+
+// ParseChurn parses an explicit churn schedule of the form
+// "kind:server@step,kind:server@step,..." — for example
+// "crash:0@10,recover:0@20". The empty string and "none" parse to nil.
+func ParseChurn(spec string) (*ChurnPlan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	var plan ChurnPlan
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(tok, ":")
+		if !ok {
+			return nil, fmt.Errorf("core: churn event %q: want kind:server@step", tok)
+		}
+		var kind ChurnKind
+		switch kindStr {
+		case "crash":
+			kind = ChurnCrash
+		case "recover":
+			kind = ChurnRecover
+		case "join":
+			kind = ChurnJoin
+		case "leave":
+			kind = ChurnLeave
+		default:
+			return nil, fmt.Errorf("core: churn event %q: unknown kind %q", tok, kindStr)
+		}
+		serverStr, stepStr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("core: churn event %q: want kind:server@step", tok)
+		}
+		server, err := strconv.Atoi(serverStr)
+		if err != nil {
+			return nil, fmt.Errorf("core: churn event %q: bad server index: %v", tok, err)
+		}
+		step, err := strconv.Atoi(stepStr)
+		if err != nil {
+			return nil, fmt.Errorf("core: churn event %q: bad step: %v", tok, err)
+		}
+		plan.Events = append(plan.Events, ChurnEvent{Step: step, Kind: kind, Server: server})
+	}
+	if len(plan.Events) == 0 {
+		return nil, nil
+	}
+	return &plan, nil
+}
+
+// ChurnPreset expands a named churn scenario against a concrete deployment.
+// Presets only ever churn honest servers (Byzantine indices are skipped).
+//
+//	none      — no churn (nil plan)
+//	crash     — f honest servers crash near steps/4 and recover near
+//	            steps/2: the paper's fail-recovery margin exercised at
+//	            full declared width
+//	rolling   — a rolling restart: every honest server in turn crashes and
+//	            recovers, one at a time, spread across the run
+//	joinleave — elastic roster: the highest honest server is absent at the
+//	            start and joins at steps/3; the lowest honest server leaves
+//	            at 2·steps/3
+//
+// Any other name is parsed as an explicit "kind:server@step,..." schedule
+// via ParseChurn.
+func ChurnPreset(name string, numServers, fServers, steps int, attacks map[int]attack.Attack) (*ChurnPlan, error) {
+	honest := make([]int, 0, numServers)
+	for i := 0; i < numServers; i++ {
+		if attacks[i] == nil {
+			honest = append(honest, i)
+		}
+	}
+	switch name {
+	case "", "none":
+		return nil, nil
+	case "crash":
+		if fServers < 1 {
+			return nil, fmt.Errorf("core: churn preset %q needs f ≥ 1", name)
+		}
+		if len(honest) < fServers {
+			return nil, fmt.Errorf("core: churn preset %q: only %d honest servers for f=%d crashes", name, len(honest), fServers)
+		}
+		var plan ChurnPlan
+		for k := 0; k < fServers; k++ {
+			plan.Events = append(plan.Events,
+				ChurnEvent{Step: steps/4 + k, Kind: ChurnCrash, Server: honest[k]},
+				ChurnEvent{Step: steps/2 + k, Kind: ChurnRecover, Server: honest[k]},
+			)
+		}
+		return &plan, nil
+	case "rolling":
+		gap := steps / (len(honest) + 1)
+		if gap < 2 {
+			return nil, fmt.Errorf("core: churn preset %q needs ≥ %d steps for %d honest servers, got %d", name, 2*(len(honest)+1), len(honest), steps)
+		}
+		var plan ChurnPlan
+		for k, i := range honest {
+			start := 1 + k*gap
+			plan.Events = append(plan.Events,
+				ChurnEvent{Step: start, Kind: ChurnCrash, Server: i},
+				ChurnEvent{Step: start + gap - 1, Kind: ChurnRecover, Server: i},
+			)
+		}
+		return &plan, nil
+	case "joinleave":
+		if len(honest) < 2 {
+			return nil, fmt.Errorf("core: churn preset %q needs ≥ 2 honest servers", name)
+		}
+		if steps < 3 {
+			return nil, fmt.Errorf("core: churn preset %q needs ≥ 3 steps", name)
+		}
+		joiner := honest[len(honest)-1]
+		leaver := honest[0]
+		return &ChurnPlan{Events: []ChurnEvent{
+			{Step: steps / 3, Kind: ChurnJoin, Server: joiner},
+			{Step: 2 * steps / 3, Kind: ChurnLeave, Server: leaver},
+		}}, nil
+	default:
+		return ParseChurn(name)
+	}
+}

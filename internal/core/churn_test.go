@@ -1,0 +1,237 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attack"
+)
+
+func TestParseChurn(t *testing.T) {
+	plan, err := ParseChurn("crash:0@10, recover:0@20,join:5@12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ChurnEvent{
+		{Step: 10, Kind: ChurnCrash, Server: 0},
+		{Step: 20, Kind: ChurnRecover, Server: 0},
+		{Step: 12, Kind: ChurnJoin, Server: 5},
+	}
+	if len(plan.Events) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(plan.Events), len(want))
+	}
+	for i, ev := range plan.Events {
+		if ev != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+	for _, spec := range []string{"", "none", " ", ","} {
+		if p, err := ParseChurn(spec); err != nil || p != nil {
+			t.Fatalf("ParseChurn(%q) = %v, %v; want nil, nil", spec, p, err)
+		}
+	}
+	for _, spec := range []string{"crash", "crash:0", "crash:x@3", "crash:0@y", "explode:0@3"} {
+		if _, err := ParseChurn(spec); err == nil {
+			t.Fatalf("ParseChurn(%q) accepted", spec)
+		}
+	}
+}
+
+func TestChurnPlanValidate(t *testing.T) {
+	const n, steps, q = 6, 40, 5
+	byz := map[int]attack.Attack{5: attack.Zero{}}
+	tests := []struct {
+		name    string
+		events  []ChurnEvent
+		attacks map[int]attack.Attack
+		wantErr string
+	}{
+		{"step out of range", []ChurnEvent{{Step: 40, Kind: ChurnCrash, Server: 0}}, nil, "outside run"},
+		{"server out of range", []ChurnEvent{{Step: 1, Kind: ChurnCrash, Server: 6}}, nil, "targets server"},
+		{"byzantine target", []ChurnEvent{{Step: 1, Kind: ChurnCrash, Server: 5}}, byz, "Byzantine"},
+		{"double event", []ChurnEvent{
+			{Step: 1, Kind: ChurnCrash, Server: 0}, {Step: 1, Kind: ChurnRecover, Server: 0},
+		}, nil, "two churn events"},
+		{"crash while down", []ChurnEvent{
+			{Step: 1, Kind: ChurnCrash, Server: 0}, {Step: 2, Kind: ChurnCrash, Server: 0},
+		}, nil, "not up"},
+		{"recover while up", []ChurnEvent{{Step: 3, Kind: ChurnRecover, Server: 0}}, nil, "not crashed"},
+		{"join while present", []ChurnEvent{{Step: 3, Kind: ChurnJoin, Server: 0}, {Step: 5, Kind: ChurnJoin, Server: 0}}, nil, "already present"},
+		{"leave while down", []ChurnEvent{
+			{Step: 1, Kind: ChurnCrash, Server: 0}, {Step: 2, Kind: ChurnLeave, Server: 0},
+		}, nil, "not up"},
+		{"quorum floor", []ChurnEvent{
+			{Step: 1, Kind: ChurnCrash, Server: 0}, {Step: 2, Kind: ChurnCrash, Server: 1},
+		}, nil, "quorum needs"},
+		{"quorum floor at start", []ChurnEvent{
+			{Step: 9, Kind: ChurnJoin, Server: 0}, {Step: 9, Kind: ChurnJoin, Server: 1},
+		}, nil, "starts with"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := &ChurnPlan{Events: tt.events}
+			err := p.Validate(n, steps, q, tt.attacks)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tt.wantErr, err)
+			}
+		})
+	}
+
+	// A legal fail-recovery plan passes, including a same-step handoff where
+	// one server recovers at the boundary another crashes.
+	ok := &ChurnPlan{Events: []ChurnEvent{
+		{Step: 5, Kind: ChurnCrash, Server: 0},
+		{Step: 10, Kind: ChurnRecover, Server: 0},
+		{Step: 10, Kind: ChurnCrash, Server: 1},
+		{Step: 20, Kind: ChurnRecover, Server: 1},
+	}}
+	if err := ok.Validate(n, steps, q, nil); err != nil {
+		t.Fatalf("legal plan rejected: %v", err)
+	}
+	var nilPlan *ChurnPlan
+	if err := nilPlan.Validate(n, steps, q, nil); err != nil {
+		t.Fatalf("nil plan rejected: %v", err)
+	}
+}
+
+func TestChurnPresets(t *testing.T) {
+	const n, f, steps, q = 6, 1, 60, 5
+	for _, name := range []string{"crash", "rolling", "joinleave"} {
+		plan, err := ChurnPreset(name, n, f, steps, nil)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if plan == nil || len(plan.Events) == 0 {
+			t.Fatalf("preset %q produced no events", name)
+		}
+		if err := plan.Validate(n, steps, q, nil); err != nil {
+			t.Fatalf("preset %q invalid against its own deployment: %v", name, err)
+		}
+	}
+	if plan, err := ChurnPreset("none", n, f, steps, nil); err != nil || plan != nil {
+		t.Fatalf("preset none = %v, %v", plan, err)
+	}
+	// Unknown names fall through to the explicit-schedule parser.
+	plan, err := ChurnPreset("crash:2@7,recover:2@11", n, f, steps, nil)
+	if err != nil || len(plan.Events) != 2 {
+		t.Fatalf("explicit schedule via preset: %v, %v", plan, err)
+	}
+	// Presets skip Byzantine indices: with server 0 Byzantine, the crash
+	// preset must pick an honest victim.
+	byz := map[int]attack.Attack{0: attack.Zero{}}
+	plan, err = ChurnPreset("crash", n, f, steps, byz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range plan.Events {
+		if ev.Server == 0 {
+			t.Fatal("crash preset churned the Byzantine server")
+		}
+	}
+	if _, err := ChurnPreset("rolling", n, f, 10, nil); err == nil {
+		t.Fatal("rolling preset accepted a run too short to roll through")
+	}
+}
+
+func TestConfigRejectsBadChurn(t *testing.T) {
+	w := BlobWorkload(200, 1)
+	cfg := fastGuanYu(w, 20, 1)
+	cfg.Churn = &ChurnPlan{Events: []ChurnEvent{{Step: 25, Kind: ChurnCrash, Server: 0}}}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("out-of-range churn accepted")
+	}
+	v := VanillaTF(w, 20, 8, 1)
+	v.Churn = &ChurnPlan{Events: []ChurnEvent{{Step: 5, Kind: ChurnCrash, Server: 0}}}
+	if err := v.Validate(); err == nil || !strings.Contains(err.Error(), "GuanYu") {
+		t.Fatalf("vanilla churn: %v", err)
+	}
+}
+
+// TestRunWithCrashRecoverChurn is the simulator's fail-recovery scenario: an
+// honest server crashes at steps/4, is silent (frozen state) through the
+// outage, recovers at steps/2 by adopting the live median, and the
+// deployment still converges — while a Byzantine worker attacks throughout.
+func TestRunWithCrashRecoverChurn(t *testing.T) {
+	w := BlobWorkload(600, 10)
+	cfg := fastGuanYu(w, 100, 2)
+	cfg = WithByzantineWorkers(cfg, 1, func(int) attack.Attack {
+		return attack.SignFlip{Scale: 10}
+	})
+	plan, err := ChurnPreset("crash", cfg.NumServers, cfg.FServers, cfg.Steps, cfg.ServerAttacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Churn = plan
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy < 0.9 {
+		t.Fatalf("crash-recover churn broke convergence: accuracy %.3f", res.FinalAccuracy)
+	}
+
+	// And the whole thing is bit-identical across reruns — churn is part of
+	// the deterministic schedule, not a source of nondeterminism.
+	w2 := BlobWorkload(600, 10)
+	cfg2 := fastGuanYu(w2, 100, 2)
+	cfg2 = WithByzantineWorkers(cfg2, 1, func(int) attack.Attack {
+		return attack.SignFlip{Scale: 10}
+	})
+	plan2, err := ChurnPreset("crash", cfg2.NumServers, cfg2.FServers, cfg2.Steps, cfg2.ServerAttacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2.Churn = plan2
+	res2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy != res2.FinalAccuracy || res.VirtualTime != res2.VirtualTime {
+		t.Fatalf("churn run not deterministic: acc %v vs %v, time %v vs %v",
+			res.FinalAccuracy, res2.FinalAccuracy, res.VirtualTime, res2.VirtualTime)
+	}
+	for i := range res.Final {
+		if res.Final[i] != res2.Final[i] {
+			t.Fatal("final parameters differ across identical churn runs")
+		}
+	}
+}
+
+// TestRunWithJoinLeaveChurn exercises elastic roster changes: one server is
+// absent at the start and joins a third of the way in; another leaves at two
+// thirds. Quorums are evaluated against the roster in force at each step.
+func TestRunWithJoinLeaveChurn(t *testing.T) {
+	w := BlobWorkload(600, 11)
+	cfg := fastGuanYu(w, 100, 3)
+	plan, err := ChurnPreset("joinleave", cfg.NumServers, cfg.FServers, cfg.Steps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Churn = plan
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy < 0.9 {
+		t.Fatalf("join/leave churn broke convergence: accuracy %.3f", res.FinalAccuracy)
+	}
+}
+
+// TestRunWithRollingChurn rolls a restart through every server, one at a
+// time, and the run must ride it out.
+func TestRunWithRollingChurn(t *testing.T) {
+	w := BlobWorkload(600, 12)
+	cfg := fastGuanYu(w, 100, 4)
+	plan, err := ChurnPreset("rolling", cfg.NumServers, cfg.FServers, cfg.Steps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Churn = plan
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy < 0.9 {
+		t.Fatalf("rolling restarts broke convergence: accuracy %.3f", res.FinalAccuracy)
+	}
+}

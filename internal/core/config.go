@@ -197,6 +197,15 @@ type Config struct {
 	// weaken it. The zero value transmits exact float64 payloads.
 	Compression compress.Config
 
+	// Churn, when non-nil, applies a deterministic schedule of membership
+	// changes to the honest servers at step boundaries: crashes (silence,
+	// frozen state), recoveries and joins (adopt the coordinate-wise median
+	// of the live honest servers — the simulator's analogue of the live
+	// cluster's median rejoin), and leaves. Validated against the quorum
+	// bound so every boundary keeps at least q live honest servers; GuanYu
+	// mode only. See ChurnPreset for the named scenarios.
+	Churn *ChurnPlan
+
 	// Seed drives every generator in the run.
 	Seed uint64
 }
@@ -236,6 +245,14 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Compression.Validate(); err != nil {
 		return err
+	}
+	if c.Churn != nil {
+		if c.Mode != ModeGuanYu {
+			return fmt.Errorf("core: churn requires GuanYu mode (a vanilla deployment has no quorum margin to crash into)")
+		}
+		if err := c.Churn.Validate(c.NumServers, c.Steps, c.quorumServers(), c.ServerAttacks); err != nil {
+			return err
+		}
 	}
 	if len(c.ServerAttacks) >= c.NumServers {
 		return fmt.Errorf("core: every server is Byzantine; nothing to measure")

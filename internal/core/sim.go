@@ -116,6 +116,29 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			honestServers = append(honestServers, i)
 		}
 	}
+	// Churn: live tracks which honest servers are up. A crashed or departed
+	// server is silent (+Inf arrivals) with frozen state; Byzantine servers
+	// never churn (a crashing adversary only helps the honest quorums).
+	live := make(map[int]bool, len(honestServers))
+	for _, i := range honestServers {
+		live[i] = true
+	}
+	var churnByStep map[int][]ChurnEvent
+	if cfg.Churn != nil {
+		churnByStep = cfg.Churn.byStep()
+		for _, i := range cfg.Churn.initialAbsent() {
+			live[i] = false
+		}
+	}
+	liveHonest := func() []int {
+		out := make([]int, 0, len(honestServers))
+		for _, i := range honestServers {
+			if live[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
 	honestWorkers := make([]int, 0, cfg.NumWorkers)
 	for j := 0; j < cfg.NumWorkers; j++ {
 		if cfg.WorkerAttacks[j] == nil {
@@ -152,10 +175,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	ser := cost.serOverhead()
 	res := &Result{Curve: &stats.Series{Name: deploymentName(cfg)}}
 
+	// honestThetas is the live honest state: a crashed or departed server's
+	// frozen θ is not part of the deployment's observable state.
 	honestThetas := func() []tensor.Vector {
 		out := make([]tensor.Vector, 0, len(theta))
 		for _, i := range honestServers {
-			out = append(out, theta[i])
+			if live[i] {
+				out = append(out, theta[i])
+			}
 		}
 		return out
 	}
@@ -185,6 +212,36 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		eta := lr(t)
 
+		// Membership changes take effect at the step boundary: crashes and
+		// leaves silence their server before this step's traffic; recoveries
+		// and joins adopt the coordinate-wise median of the live honest
+		// servers' parameters (the simulator's median rejoin) with a clock
+		// caught up to the live frontier and any restored momentum discarded
+		// — stale velocity would fight the adopted state.
+		for _, ev := range churnByStep[t] {
+			switch ev.Kind {
+			case ChurnCrash, ChurnLeave:
+				live[ev.Server] = false
+			case ChurnRecover, ChurnJoin:
+				med, err := gar.Median{}.Aggregate(honestThetas())
+				if err != nil {
+					return nil, fmt.Errorf("core: step %d: churn %s of server %d: %w", t, ev.Kind, ev.Server, err)
+				}
+				theta[ev.Server] = med
+				if cfg.Momentum > 0 {
+					velocity[ev.Server] = make(tensor.Vector, dim)
+				}
+				var frontier float64
+				for _, i := range liveHonest() {
+					if clockS[i] > frontier {
+						frontier = clockS[i]
+					}
+				}
+				clockS[ev.Server] = frontier
+				live[ev.Server] = true
+			}
+		}
+
 		// Omniscient server attacks see every honest parameter vector of the
 		// step before corrupting (the adversary reads all honest state; it
 		// just cannot speak for honest nodes).
@@ -207,6 +264,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					}
 					payloads[i] = vec
 					arrivals[i] = 0 // adversary's covert network: instant
+					continue
+				}
+				if !live[i] {
+					arrivals[i] = math.Inf(1) // crashed or departed: silent
 					continue
 				}
 				p, err := xmit(cluster.ServerID(i), cluster.WorkerID(j), transport.KindParams, t, theta[i])
@@ -254,7 +315,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			attack.NewStepView(t, honestGradList, cfg.FWorkers, len(cfg.WorkerAttacks)))
 
 		// ---- Phase 2: workers → servers, Multi-Krum, local update ----
-		for _, i := range honestServers {
+		for _, i := range liveHonest() {
 			arrivals := make([]float64, cfg.NumWorkers)
 			payloads := make([]tensor.Vector, cfg.NumWorkers)
 			for j := 0; j < cfg.NumWorkers; j++ {
@@ -303,9 +364,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		// ---- Phase 3: server ↔ server contraction round ----
 		if cfg.Mode == ModeGuanYu && !cfg.DisableServerExchange && q > 1 {
 			// Snapshot so every receiver aggregates the same round's vectors.
-			sentTheta := make(map[int]tensor.Vector, len(honestServers))
-			sentClock := make(map[int]float64, len(honestServers))
-			for _, i := range honestServers {
+			exchangers := liveHonest()
+			sentTheta := make(map[int]tensor.Vector, len(exchangers))
+			sentClock := make(map[int]float64, len(exchangers))
+			for _, i := range exchangers {
 				sentTheta[i] = theta[i]
 				sentClock[i] = clockS[i]
 			}
@@ -314,8 +376,8 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			// honest parameter vectors before the contraction round.
 			attack.ObserveAll(cfg.ServerAttacks,
 				attack.NewStepView(t, honestThetas(), cfg.FServers, len(cfg.ServerAttacks)))
-			newTheta := make(map[int]tensor.Vector, len(honestServers))
-			for _, i := range honestServers {
+			newTheta := make(map[int]tensor.Vector, len(exchangers))
+			for _, i := range exchangers {
 				arrivals := make([]float64, cfg.NumServers)
 				payloads := make([]tensor.Vector, cfg.NumServers)
 				for k := 0; k < cfg.NumServers; k++ {
@@ -323,6 +385,8 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					case k == i:
 						payloads[k] = sentTheta[i]
 						arrivals[k] = sentClock[i] // own vector: no network
+					case cfg.ServerAttacks[k] == nil && !live[k]:
+						arrivals[k] = math.Inf(1) // crashed or departed: silent
 					case cfg.ServerAttacks[k] != nil:
 						vec := cfg.ServerAttacks[k].Corrupt(medBasis, t, cluster.ServerID(i))
 						if rejectPayload(vec, dim, validate) {

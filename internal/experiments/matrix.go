@@ -31,6 +31,13 @@ type MatrixSpec struct {
 	Rules []string
 	// Faults are the network fault profiles applied to honest traffic.
 	Faults []string
+	// Churn are the server membership-churn scenarios (core.ChurnPreset
+	// names — "none", "crash", "rolling", "joinleave" — or explicit
+	// "kind:server@step" schedules); empty means {"none"}. Each scenario
+	// multiplies the grid: the churn band answers whether the rules that
+	// survive an adversary also survive servers crashing, recovering and
+	// changing roster mid-run.
+	Churn []string
 	// Compress are the wire compression specs applied to honest traffic
 	// ("none", "float32", "delta[:key=N]", "topk:k=F"); empty means
 	// {"none"}. Each spec multiplies the grid: the matrix answers whether a
@@ -52,6 +59,11 @@ func DefaultMatrixSpec() MatrixSpec {
 		// bulk-synchronous quorums — its column is the liveness-breakdown
 		// row of the table, not a survivable profile.
 		Faults: []string{"none", "drop:p=0.01", "delay:p=0.2,spike=0.002", "partition:every=25,for=2"},
+		// The churn band: rolling restarts, a crash that recovers via the
+		// median rejoin, and an elastic join/leave roster — each crossed
+		// with every fault profile, so "join/leave under partition" gets a
+		// cell of its own.
+		Churn: []string{"none", "crash", "rolling", "joinleave"},
 		// The exact wire and the most aggressive compression bracket the
 		// grid; the intermediate schemes get their own experiment
 		// (bandwidth).
@@ -67,6 +79,10 @@ func SmokeMatrixSpec() MatrixSpec {
 		Rules:    []string{"multi-krum"},
 		Faults:   []string{"drop:p=0.02"},
 		Compress: []string{"none", "topk:k=0.01"},
+		// One crash-recovery cell next to the churn-free baseline; the
+		// longer rolling/joinleave scenarios need more steps than the smoke
+		// scale runs.
+		Churn: []string{"none", "crash"},
 	}
 }
 
@@ -78,6 +94,14 @@ func (m MatrixSpec) compressAxis() []string {
 	return m.Compress
 }
 
+// churnAxis is the spec's churn axis, defaulting to a stable membership.
+func (m MatrixSpec) churnAxis() []string {
+	if len(m.Churn) == 0 {
+		return []string{"none"}
+	}
+	return m.Churn
+}
+
 func (m MatrixSpec) byzWorkers() int {
 	if m.ByzWorkers > 0 {
 		return m.ByzWorkers
@@ -87,8 +111,8 @@ func (m MatrixSpec) byzWorkers() int {
 
 // MatrixCell is one grid point's outcome.
 type MatrixCell struct {
-	// Attack, Rule, Fault and Compress identify the cell.
-	Attack, Rule, Fault, Compress string
+	// Attack, Rule, Fault, Churn and Compress identify the cell.
+	Attack, Rule, Fault, Churn, Compress string
 	// FinalAccuracy is the run's final test accuracy (0 when Failed).
 	FinalAccuracy float64
 	// Failed is empty for a completed run, otherwise the breakdown class:
@@ -102,7 +126,7 @@ type MatrixCell struct {
 type MatrixResult struct {
 	// Spec echoes the grid axes.
 	Spec MatrixSpec
-	// Cells holds one entry per (fault, compress, attack, rule),
+	// Cells holds one entry per (fault, churn, compress, attack, rule),
 	// fault-major in the spec's order.
 	Cells []MatrixCell
 }
@@ -124,11 +148,13 @@ func Matrix(s Scale, spec MatrixSpec) (*MatrixResult, error) {
 	}
 	res := &MatrixResult{Spec: spec}
 	for _, fault := range spec.Faults {
-		for _, comp := range spec.compressAxis() {
-			for _, att := range spec.Attacks {
-				for _, rule := range spec.Rules {
-					res.Cells = append(res.Cells, MatrixCell{
-						Attack: att, Rule: rule, Fault: fault, Compress: comp})
+		for _, churn := range spec.churnAxis() {
+			for _, comp := range spec.compressAxis() {
+				for _, att := range spec.Attacks {
+					for _, rule := range spec.Rules {
+						res.Cells = append(res.Cells, MatrixCell{
+							Attack: att, Rule: rule, Fault: fault, Churn: churn, Compress: comp})
+					}
 				}
 			}
 		}
@@ -157,6 +183,15 @@ func Matrix(s Scale, spec MatrixSpec) (*MatrixResult, error) {
 			return nil, fmt.Errorf("matrix: %w", err)
 		}
 	}
+	for _, cs := range spec.churnAxis() {
+		plan, err := matrixChurn(cs, s)
+		if err != nil {
+			return nil, fmt.Errorf("matrix: %w", err)
+		}
+		if err := plan.Validate(core.PaperServers, s.Steps, gar.MinQuorum(0), nil); err != nil {
+			return nil, fmt.Errorf("matrix: churn %q: %w", cs, err)
+		}
+	}
 
 	tasks := make([]func() error, len(res.Cells))
 	for i := range res.Cells {
@@ -172,12 +207,20 @@ func Matrix(s Scale, spec MatrixSpec) (*MatrixResult, error) {
 	return res, nil
 }
 
+// matrixChurn expands one churn-axis value against the matrix deployment:
+// the grid's servers are all honest with the slack f=0 quorum (q=3 of 6),
+// which is exactly the margin that absorbs one server down at a time.
+func matrixChurn(spec string, s Scale) (*core.ChurnPlan, error) {
+	return core.ChurnPreset(spec, core.PaperServers, 1, s.Steps, nil)
+}
+
 // runMatrixCell executes one grid point, writing the outcome into cell.
 func runMatrixCell(s Scale, byzWorkers int, cell *MatrixCell) {
 	mkAttack, _ := attack.FromSpec(cell.Attack, s.Seed+500)
 	rule, _ := gar.FromName(cell.Rule, byzWorkers)
 	faults, _ := faultFromSpec(cell.Fault, s.Seed+900)
 	comp, _ := compress.ParseSpec(cell.Compress)
+	churn, _ := matrixChurn(cell.Churn, s)
 
 	w := core.BlobWorkload(s.Examples, s.Seed)
 	cfg := core.Config{
@@ -193,6 +236,7 @@ func runMatrixCell(s Scale, byzWorkers int, cell *MatrixCell) {
 		Rule:        rule,
 		Faults:      transport.NewFaultInjector(faults),
 		Compression: comp,
+		Churn:       churn,
 		Seed:        s.Seed,
 	}
 	cfg = core.WithByzantineWorkers(cfg, byzWorkers, mkAttack)
@@ -223,30 +267,32 @@ func faultFromSpec(spec string, seed uint64) (transport.FaultConfig, error) {
 // compression scheme) pair.
 func (r *MatrixResult) Format() string {
 	var b strings.Builder
-	b.WriteString("# Scenario matrix: final accuracy by attack × GAR × fault profile × compression\n")
+	b.WriteString("# Scenario matrix: final accuracy by attack × GAR × fault profile × churn × compression\n")
 	fmt.Fprintf(&b, "(%d byz workers of %d; %d servers, all honest; breakdowns: no-quorum = liveness, non-finite = safety)\n",
 		r.Spec.byzWorkers(), core.PaperWorkers, core.PaperServers)
 	idx := 0
 	for _, fault := range r.Spec.Faults {
-		for _, comp := range r.Spec.compressAxis() {
-			fmt.Fprintf(&b, "\n## faults: %s, compress: %s\n", fault, comp)
-			fmt.Fprintf(&b, "%-22s", "attack")
-			for _, rule := range r.Spec.Rules {
-				fmt.Fprintf(&b, " %-18s", rule)
-			}
-			b.WriteByte('\n')
-			for range r.Spec.Attacks {
-				fmt.Fprintf(&b, "%-22s", r.Cells[idx].Attack)
-				for range r.Spec.Rules {
-					c := r.Cells[idx]
-					if c.Failed != "" {
-						fmt.Fprintf(&b, " %-18s", "break:"+c.Failed)
-					} else {
-						fmt.Fprintf(&b, " %-18.4f", c.FinalAccuracy)
-					}
-					idx++
+		for _, churn := range r.Spec.churnAxis() {
+			for _, comp := range r.Spec.compressAxis() {
+				fmt.Fprintf(&b, "\n## faults: %s, churn: %s, compress: %s\n", fault, churn, comp)
+				fmt.Fprintf(&b, "%-22s", "attack")
+				for _, rule := range r.Spec.Rules {
+					fmt.Fprintf(&b, " %-18s", rule)
 				}
 				b.WriteByte('\n')
+				for range r.Spec.Attacks {
+					fmt.Fprintf(&b, "%-22s", r.Cells[idx].Attack)
+					for range r.Spec.Rules {
+						c := r.Cells[idx]
+						if c.Failed != "" {
+							fmt.Fprintf(&b, " %-18s", "break:"+c.Failed)
+						} else {
+							fmt.Fprintf(&b, " %-18.4f", c.FinalAccuracy)
+						}
+						idx++
+					}
+					b.WriteByte('\n')
+				}
 			}
 		}
 	}

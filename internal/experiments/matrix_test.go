@@ -16,6 +16,7 @@ var matrixTestSpec = MatrixSpec{
 	Attacks: []string{"signflip:scale=30", "alie:z=1.5", "antikrum"},
 	Rules:   []string{"mean", "multi-krum"},
 	Faults:  []string{"none", "drop:p=0.01", "partition:every=10,for=2"},
+	Churn:   []string{"none", "crash"},
 }
 
 func TestMatrixShapeAndBreakdowns(t *testing.T) {
@@ -26,23 +27,24 @@ func TestMatrixShapeAndBreakdowns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := len(matrixTestSpec.Attacks) * len(matrixTestSpec.Rules) * len(matrixTestSpec.Faults)
+	want := len(matrixTestSpec.Attacks) * len(matrixTestSpec.Rules) *
+		len(matrixTestSpec.Faults) * len(matrixTestSpec.Churn)
 	if len(r.Cells) != want {
 		t.Fatalf("got %d cells, want %d", len(r.Cells), want)
 	}
-	cellAt := func(attack, rule, fault string) MatrixCell {
+	cellAt := func(attack, rule, fault, churn string) MatrixCell {
 		for _, c := range r.Cells {
-			if c.Attack == attack && c.Rule == rule && c.Fault == fault {
+			if c.Attack == attack && c.Rule == rule && c.Fault == fault && c.Churn == churn {
 				return c
 			}
 		}
-		t.Fatalf("cell (%s, %s, %s) missing", attack, rule, fault)
+		t.Fatalf("cell (%s, %s, %s, %s) missing", attack, rule, fault, churn)
 		return MatrixCell{}
 	}
 	// The classic comparison: mean collapses under the scaled sign-flip,
 	// multi-krum holds.
-	broken := cellAt("signflip:scale=30", "mean", "none")
-	robust := cellAt("signflip:scale=30", "multi-krum", "none")
+	broken := cellAt("signflip:scale=30", "mean", "none", "none")
+	robust := cellAt("signflip:scale=30", "multi-krum", "none", "none")
 	if broken.Failed == "" && broken.FinalAccuracy > robust.FinalAccuracy-0.2 {
 		t.Fatalf("mean under sign-flip (%.3f) not clearly worse than multi-krum (%.3f)",
 			broken.FinalAccuracy, robust.FinalAccuracy)
@@ -52,17 +54,24 @@ func TestMatrixShapeAndBreakdowns(t *testing.T) {
 	}
 	// A bisection partition starves the bulk-synchronous quorums: a
 	// deterministic liveness breakdown, not a crash.
-	part := cellAt("alie:z=1.5", "multi-krum", "partition:every=10,for=2")
+	part := cellAt("alie:z=1.5", "multi-krum", "partition:every=10,for=2", "none")
 	if part.Failed != "no-quorum" {
 		t.Fatalf("partition cell should break liveness, got %+v", part)
 	}
 	// Survivable faults leave the robust cells converging.
-	drop := cellAt("antikrum", "multi-krum", "drop:p=0.01")
+	drop := cellAt("antikrum", "multi-krum", "drop:p=0.01", "none")
 	if drop.Failed != "" || drop.FinalAccuracy < 0.6 {
 		t.Fatalf("multi-krum under anti-krum + drops should survive, got %+v", drop)
 	}
+	// The churn band: a server crashing and recovering mid-run is inside
+	// the quorum margin, so the robust cell must still converge while under
+	// attack.
+	churned := cellAt("signflip:scale=30", "multi-krum", "none", "crash")
+	if churned.Failed != "" || churned.FinalAccuracy < 0.6 {
+		t.Fatalf("multi-krum under sign-flip + crash churn should survive, got %+v", churned)
+	}
 	out := r.Format()
-	for _, wantStr := range []string{"Scenario matrix", "break:no-quorum", "## faults: none"} {
+	for _, wantStr := range []string{"Scenario matrix", "break:no-quorum", "## faults: none", "churn: crash"} {
 		if !strings.Contains(out, wantStr) {
 			t.Fatalf("formatted matrix missing %q:\n%s", wantStr, out)
 		}
@@ -104,6 +113,8 @@ func TestMatrixRejectsUnknownSpecs(t *testing.T) {
 		{Attacks: []string{"nosuch"}, Rules: []string{"mean"}, Faults: []string{"none"}},
 		{Attacks: []string{"alie"}, Rules: []string{"nosuch"}, Faults: []string{"none"}},
 		{Attacks: []string{"alie"}, Rules: []string{"mean"}, Faults: []string{"nosuch"}},
+		{Attacks: []string{"alie"}, Rules: []string{"mean"}, Faults: []string{"none"}, Churn: []string{"explode:0@3"}},
+		{Attacks: []string{"alie"}, Rules: []string{"mean"}, Faults: []string{"none"}, Churn: []string{"crash:0@9999"}},
 		{Attacks: []string{"alie:nosuchparam=1"}, Rules: []string{"mean"}, Faults: []string{"none"}},
 		{},
 	}

@@ -112,7 +112,7 @@ func Run(id string, s Scale, out io.Writer) error {
 		}
 		fmt.Fprint(out, r.Format())
 	case "soak":
-		r, err := Soak(s, false, "", 0)
+		r, err := Soak(s, SoakOptions{})
 		if err != nil {
 			return err
 		}

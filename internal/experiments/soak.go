@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -43,6 +44,23 @@ var (
 	soakTimeout      = 2 * time.Minute
 	soakScrapeEvery  = 50 * time.Millisecond
 )
+
+// SoakOptions selects a soak run's mode beyond its Scale.
+type SoakOptions struct {
+	// Smoke selects the CI sizing (fewer workers, far fewer steps).
+	Smoke bool
+	// MetricsAddr, when non-empty, serves /metrics + /healthz on this
+	// address for the run's duration plus Linger afterwards.
+	MetricsAddr string
+	// Linger keeps the MetricsAddr listener up this long after the run, so
+	// external scrapers can read the final counters.
+	Linger time.Duration
+	// Churn arms the kill/restart cycle: one honest server checkpoints,
+	// is killed a quarter of the way into the run, and rejoins from its
+	// newest checkpoint under the same ID — while the scraper keeps
+	// checking counter monotonicity straight through the outage.
+	Churn bool
+}
 
 // SoakResult is one soak run's measurements and verdicts.
 type SoakResult struct {
@@ -87,11 +105,21 @@ type SoakResult struct {
 	// PeakRSSBytes is the process VmHWM after the run (0 where
 	// /proc/self/status is unavailable).
 	PeakRSSBytes uint64
+	// ChurnRequested records that the run armed the kill/restart cycle;
+	// ChurnKillStep is the step the victim was scheduled to die at.
+	ChurnRequested bool
+	ChurnKillStep  int
+	// ChurnRestarted reports that the victim was actually killed and came
+	// back through checkpoint + median rejoin (the live runtime's verdict).
+	ChurnRestarted bool
 }
 
-// Pass is the overall soak verdict: monotone counters, full liveness, and
-// bounded memory.
+// Pass is the overall soak verdict: monotone counters, full liveness,
+// bounded memory — and, when churn was armed, an actual kill/restart.
 func (r *SoakResult) Pass() bool {
+	if r.ChurnRequested && !r.ChurnRestarted {
+		return false
+	}
 	return r.MonotonicViolations == 0 && r.AllDone && r.Healthy && r.WithinBudget
 }
 
@@ -109,6 +137,10 @@ func (r *SoakResult) Format() string {
 		r.DroppedOverflow, r.DroppedClosed, r.DroppedFuture, r.DroppedMalformed, r.StepsTotal)
 	fmt.Fprintf(&b, "liveness: all nodes done: %s  health: %s\n",
 		yesNo(r.AllDone), yesNo(r.Healthy))
+	if r.ChurnRequested {
+		fmt.Fprintf(&b, "churn: victim killed at step %d, restarted via checkpoint+rejoin: %s\n",
+			r.ChurnKillStep, yesNo(r.ChurnRestarted))
+	}
 	fmt.Fprintf(&b, "peak heap %s, budget %s (RSS high-water %s)\n",
 		formatBytes(int(r.PeakHeapBytes)), formatBytes(int(r.HeapBudgetBytes)),
 		formatBytes(int(r.PeakRSSBytes)))
@@ -191,13 +223,15 @@ func (s *soakScraper) Stop() (int, int) {
 
 // Soak runs the long-haul live deployment under continuous fault injection
 // with an equivocating server, self-scraping its metrics registry
-// throughout. smoke selects the CI sizing. When metricsAddr is non-empty a
-// /metrics + /healthz listener serves the same registry for the duration
-// of the run and for linger afterwards, so external scrapers (CI's curl
-// loop, a dashboard) can read the final counters before the process exits.
-func Soak(s Scale, smoke bool, metricsAddr string, linger time.Duration) (*SoakResult, error) {
+// throughout. opts.Smoke selects the CI sizing. When opts.MetricsAddr is
+// non-empty a /metrics + /healthz listener serves the same registry for the
+// duration of the run and for opts.Linger afterwards, so external scrapers
+// (CI's curl loop, a dashboard) can read the final counters before the
+// process exits. opts.Churn additionally kills and restarts one honest
+// server mid-run, turning the soak into a crash-recovery endurance check.
+func Soak(s Scale, opts SoakOptions) (*SoakResult, error) {
 	workers, steps := soakWorkers, soakSteps
-	if smoke {
+	if opts.Smoke {
 		workers, steps = soakSmokeWorkers, soakSmokeSteps
 	}
 	nodes := soakServers + workers
@@ -210,15 +244,15 @@ func Soak(s Scale, smoke bool, metricsAddr string, linger time.Duration) (*SoakR
 		return nil, fmt.Errorf("soak: %w", err)
 	}
 	reg := metrics.NewRegistry()
-	if metricsAddr != "" {
-		srv, err := metrics.Serve(metricsAddr, reg, metrics.DefaultStallAfter)
+	if opts.MetricsAddr != "" {
+		srv, err := metrics.Serve(opts.MetricsAddr, reg, metrics.DefaultStallAfter)
 		if err != nil {
 			return nil, fmt.Errorf("soak: %w", err)
 		}
 		defer func() {
 			// Hold the exposition up past the run so late scrapers see the
 			// final counters, then tear it down.
-			time.Sleep(linger)
+			time.Sleep(opts.Linger)
 			srv.Close()
 		}()
 	}
@@ -245,6 +279,24 @@ func Soak(s Scale, smoke bool, metricsAddr string, linger time.Duration) (*SoakR
 		Mailbox:   mbox,
 		Metrics:   reg,
 	}
+	killAt := 0
+	if opts.Churn {
+		// Server 0 is honest (the equivocator is the last index); kill it a
+		// quarter of the way in, checkpointing often enough that the newest
+		// checkpoint is never more than a few steps stale at the kill.
+		dir, err := os.MkdirTemp("", "guanyu-soak-ckpt-")
+		if err != nil {
+			return nil, fmt.Errorf("soak: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		killAt = steps / 4
+		cfg.Churn = &cluster.LiveChurn{
+			Server:          0,
+			KillAtStep:      killAt,
+			CheckpointEvery: max(1, steps/20),
+			Dir:             dir,
+		}
+	}
 
 	scraper := startSoakScraper(reg)
 	var live *cluster.LiveResult
@@ -265,6 +317,9 @@ func Soak(s Scale, smoke bool, metricsAddr string, linger time.Duration) (*SoakR
 		Scrapes: scrapes, MonotonicViolations: violations,
 		DroppedOverflow: live.DroppedOverflow,
 		DroppedClosed:   live.DroppedClosed,
+		ChurnRequested:  opts.Churn,
+		ChurnKillStep:   killAt,
+		ChurnRestarted:  live.ChurnRestarted,
 		PeakHeapBytes:   peak,
 		HeapBudgetBytes: scaleHeapBudget(nodes, dim, mbox),
 		PeakRSSBytes:    readVmHWM(),

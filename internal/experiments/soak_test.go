@@ -13,7 +13,7 @@ func TestSoakSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("boots a 12-node live cluster")
 	}
-	r, err := Soak(Scale{Steps: 10, Batch: 8, SmallBatch: 4, Examples: 300, Seed: 42}, true, "", 0)
+	r, err := Soak(Scale{Steps: 10, Batch: 8, SmallBatch: 4, Examples: 300, Seed: 42}, SoakOptions{Smoke: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,5 +34,43 @@ func TestSoakSmoke(t *testing.T) {
 	}
 	if r.StepsTotal == 0 {
 		t.Fatal("registry saw no completed steps")
+	}
+	if r.ChurnRequested || strings.Contains(out, "churn:") {
+		t.Fatal("churn surfaced without being requested")
+	}
+}
+
+// TestSoakChurnSmoke runs the soak's kill/restart sub-mode at smoke scale:
+// an honest server is killed a quarter of the way into the run and rejoins
+// from its newest checkpoint under the same ID, and the verdict must report
+// both the restart and the unbroken counter monotonicity across the outage.
+func TestSoakChurnSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 12-node live cluster with a kill/restart cycle")
+	}
+	r, err := Soak(Scale{Steps: 10, Batch: 8, SmallBatch: 4, Examples: 300, Seed: 42}, SoakOptions{Smoke: true, Churn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ChurnRequested || r.ChurnKillStep <= 0 {
+		t.Fatalf("churn options not threaded into the result: %+v", r)
+	}
+	if !r.ChurnRestarted {
+		t.Fatalf("soak churn never killed and restarted the victim:\n%s", r.Format())
+	}
+	if r.MonotonicViolations != 0 {
+		t.Fatalf("counters regressed across the restart: %d violations", r.MonotonicViolations)
+	}
+	if !r.Pass() {
+		t.Fatalf("soak churn smoke failed:\n%s", r.Format())
+	}
+	out := r.Format()
+	for _, want := range []string{
+		"restarted via checkpoint+rejoin: yes",
+		"soak verdict: PASS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format() missing the greppable line %q:\n%s", want, out)
+		}
 	}
 }

@@ -49,6 +49,14 @@ type NodeMetrics struct {
 	ForgedDropped       atomic.Uint64
 	DroppedUnnegotiated atomic.Uint64
 
+	// Membership drops: hello handshakes rejected by the admission
+	// check (an identity outside the roster, or a roster intent the
+	// node refuses), and collected frames discarded because their
+	// sender was not a member of the roster in force at the frame's
+	// step.
+	DroppedUnadmitted atomic.Uint64
+	DroppedRoster     atomic.Uint64
+
 	// Mailbox drops. DroppedOverflow counts inbound per-sender queue
 	// evictions (drop-oldest) and rejections (drop-newest) at this
 	// node's own mailbox; CourierDropped counts the same events on the
@@ -156,6 +164,8 @@ type Snapshot struct {
 	DroppedMalformed    uint64
 	ForgedDropped       uint64
 	DroppedUnnegotiated uint64
+	DroppedUnadmitted   uint64
+	DroppedRoster       uint64
 	DroppedOverflow     uint64
 	CourierDropped      uint64
 	DroppedClosed       uint64
@@ -223,6 +233,8 @@ func (r *Registry) Snapshot() []Snapshot {
 			DroppedMalformed:    m.DroppedMalformed.Load(),
 			ForgedDropped:       m.ForgedDropped.Load(),
 			DroppedUnnegotiated: m.DroppedUnnegotiated.Load(),
+			DroppedUnadmitted:   m.DroppedUnadmitted.Load(),
+			DroppedRoster:       m.DroppedRoster.Load(),
 			DroppedOverflow:     m.DroppedOverflow.Load(),
 			CourierDropped:      m.CourierDropped.Load(),
 			DroppedClosed:       m.DroppedClosed.Load(),

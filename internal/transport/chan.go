@@ -38,15 +38,24 @@ type DelayFunc func(from, to string) time.Duration
 type ChanNetwork struct {
 	mu     sync.Mutex
 	nodes  map[string]*chanEndpoint
+	dead   map[string]deadDrops
 	delay  DelayFunc
 	mbox   MailboxConfig
 	timers sync.WaitGroup
 	closed bool
 }
 
+// deadDrops preserves an unregistered endpoint's drop counters so Dropped
+// keeps reporting a node's full history across kill/restart cycles.
+type deadDrops struct{ overflow, closed uint64 }
+
 // NewChanNetwork builds an empty network. delay may be nil.
 func NewChanNetwork(delay DelayFunc) *ChanNetwork {
-	return &ChanNetwork{nodes: make(map[string]*chanEndpoint), delay: delay}
+	return &ChanNetwork{
+		nodes: make(map[string]*chanEndpoint),
+		dead:  make(map[string]deadDrops),
+		delay: delay,
+	}
 }
 
 // Register creates the endpoint for the given node ID.
@@ -62,6 +71,30 @@ func (n *ChanNetwork) Register(id string) (Endpoint, error) {
 	ep := &chanEndpoint{id: id, net: n, box: NewMailboxWith(n.mbox)}
 	n.nodes[id] = ep
 	return ep, nil
+}
+
+// Unregister closes the named endpoint and releases its ID for a later
+// Register — the in-process analogue of a crashed process freeing its
+// listening socket, which is what lets a killed node restart under the same
+// name mid-run. The endpoint's accumulated drop counters are folded into a
+// per-ID tally that Dropped keeps reporting. Unknown IDs are a no-op.
+func (n *ChanNetwork) Unregister(id string) {
+	n.mu.Lock()
+	ep, ok := n.nodes[id]
+	if ok {
+		delete(n.nodes, id)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	ep.box.Close()
+	n.mu.Lock()
+	d := n.dead[id]
+	d.overflow += ep.box.DroppedOverflow()
+	d.closed += ep.box.DroppedClosed()
+	n.dead[id] = d
+	n.mu.Unlock()
 }
 
 // SetMailbox bounds every endpoint's inbound mailbox per sender — those
@@ -120,15 +153,17 @@ func (n *ChanNetwork) Close() error {
 
 // Dropped returns the named endpoint's inbound mailbox drop counters:
 // frames shed by the overflow policy and frames that arrived after the
-// endpoint closed. Unknown IDs read as zero.
+// endpoint closed — including any earlier incarnations removed with
+// Unregister. Unknown IDs read as zero.
 func (n *ChanNetwork) Dropped(id string) (overflow, closed uint64) {
 	n.mu.Lock()
 	ep, ok := n.nodes[id]
+	d := n.dead[id]
 	n.mu.Unlock()
 	if !ok {
-		return 0, 0
+		return d.overflow, d.closed
 	}
-	return ep.box.DroppedOverflow(), ep.box.DroppedClosed()
+	return d.overflow + ep.box.DroppedOverflow(), d.closed + ep.box.DroppedClosed()
 }
 
 func (n *ChanNetwork) deliver(from, to string, m Message) error {

@@ -184,9 +184,12 @@ func TestHelloRoundTrip(t *testing.T) {
 	if want := append(append([]byte(helloMagic), 5), "wrk42"...); !bytes.Equal(buf, want) {
 		t.Fatalf("v1 hello = %x, want %x", buf, want)
 	}
-	id, caps, err := readHello(bytes.NewReader(buf))
-	if err != nil || id != "wrk42" || caps != 0 {
-		t.Fatalf("readHello = %q, %d, %v", id, caps, err)
+	h, err := readHello(bytes.NewReader(buf))
+	if err != nil || h.ID != "wrk42" || h.Caps != 0 {
+		t.Fatalf("readHello = %+v, %v", h, err)
+	}
+	if h.Intent != IntentMember || h.EffectiveStep != 0 || h.Replaces != "" {
+		t.Fatalf("v1 hello parsed with roster fields: %+v", h)
 	}
 	if _, err := appendHello(nil, "", 0); err == nil {
 		t.Fatal("empty hello ID accepted")
@@ -194,10 +197,10 @@ func TestHelloRoundTrip(t *testing.T) {
 	if _, err := appendHello(nil, strings.Repeat("x", MaxFromLen+1), 0); err == nil {
 		t.Fatal("oversized hello ID accepted")
 	}
-	if _, _, err := readHello(bytes.NewReader([]byte("NOPE\x03abc"))); err == nil {
+	if _, err := readHello(bytes.NewReader([]byte("NOPE\x03abc"))); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	if _, _, err := readHello(bytes.NewReader(buf[:4])); err == nil {
+	if _, err := readHello(bytes.NewReader(buf[:4])); err == nil {
 		t.Fatal("truncated hello accepted")
 	}
 }
@@ -210,14 +213,78 @@ func TestHelloV2Capabilities(t *testing.T) {
 	if want := append(append(append([]byte(helloMagicV2), 5), "wrk42"...), 0x0a); !bytes.Equal(buf, want) {
 		t.Fatalf("v2 hello = %x, want %x", buf, want)
 	}
-	id, caps, err := readHello(bytes.NewReader(buf))
-	if err != nil || id != "wrk42" || caps != 0x0a {
-		t.Fatalf("readHello = %q, %#x, %v", id, caps, err)
+	h, err := readHello(bytes.NewReader(buf))
+	if err != nil || h.ID != "wrk42" || h.Caps != 0x0a {
+		t.Fatalf("readHello = %+v, %v", h, err)
 	}
 	// Truncated before the capability byte: the header committed the stream
 	// to one more byte.
-	if _, _, err := readHello(bytes.NewReader(buf[:len(buf)-1])); err == nil {
+	if _, err := readHello(bytes.NewReader(buf[:len(buf)-1])); err == nil {
 		t.Fatal("v2 hello without capability byte accepted")
+	}
+}
+
+func TestHelloV3Roster(t *testing.T) {
+	want := Hello{ID: "ps3", Caps: 0x02, Intent: IntentReplace, EffectiveStep: 71, Replaces: "ps1"}
+	buf, err := AppendHelloRoster(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf, []byte(helloMagicV3)) {
+		t.Fatalf("roster hello magic = %q", buf[:4])
+	}
+	h, err := readHello(bytes.NewReader(buf))
+	if err != nil || h != want {
+		t.Fatalf("readHello = %+v, %v (want %+v)", h, err, want)
+	}
+
+	// Join and leave round-trip without a replaced ID.
+	for _, intent := range []RosterIntent{IntentJoin, IntentLeave} {
+		w := Hello{ID: "wrk9", Intent: intent, EffectiveStep: 12}
+		buf, err := AppendHelloRoster(nil, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := readHello(bytes.NewReader(buf))
+		if err != nil || h != w {
+			t.Fatalf("%s hello = %+v, %v", intent, h, err)
+		}
+	}
+
+	// A member announcement with zero roster fields downgrades to the v2
+	// (or v1) frame, keeping fixed-roster deployments wire-identical.
+	buf, err = AppendHelloRoster(nil, Hello{ID: "ps0", Caps: 0x02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf, []byte(helloMagicV2)) {
+		t.Fatalf("zero-roster hello did not downgrade: magic %q", buf[:4])
+	}
+
+	// Structural rejections, symmetric on both sides.
+	if _, err := AppendHelloRoster(nil, Hello{ID: "x", Intent: IntentReplace}); err == nil {
+		t.Fatal("replace without a replaced ID accepted")
+	}
+	if _, err := AppendHelloRoster(nil, Hello{ID: "x", Intent: IntentJoin, Replaces: "y"}); err == nil {
+		t.Fatal("join with a replaced ID accepted")
+	}
+	if _, err := AppendHelloRoster(nil, Hello{ID: "x", Intent: IntentJoin, EffectiveStep: -1}); err == nil {
+		t.Fatal("negative effective step accepted")
+	}
+	full, err := AppendHelloRoster(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 5; cut < len(full); cut++ {
+		if _, err := readHello(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("hello truncated at %d bytes accepted", cut)
+		}
+	}
+	// An unknown intent byte is rejected by the reader's validation.
+	bad := append([]byte(nil), full...)
+	bad[4+1+len("ps3")+1] = 9
+	if _, err := readHello(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown roster intent accepted")
 	}
 }
 

@@ -138,6 +138,26 @@ func (c *Compressor) DroppedUnnegotiated() uint64 { return atomic.LoadUint64(&c.
 // desynchronised delta stream, or an over-limit declared dimension).
 func (c *Compressor) DroppedMalformed() uint64 { return atomic.LoadUint64(&c.malformed) }
 
+// Reset discards every link's codec state, sender and receiver side.
+// On TCP a redial replaces both per-connection codecs together; the
+// in-process network has no connection to cycle, so a node rejoining
+// from a checkpoint calls Reset instead — the next delta frame on
+// every outbound link is an absolute keyframe, and inbound diff frames
+// from pre-crash streams fail their reference check and are dropped
+// (counted malformed) until the peer's next keyframe heals the stream.
+func (c *Compressor) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, l := range c.encs {
+		l.mu.Lock()
+		l.enc.Reset()
+		l.mu.Unlock()
+	}
+	for _, dec := range c.decs {
+		dec.Reset()
+	}
+}
+
 func (c *Compressor) linkFor(to string) *compLink {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -35,6 +35,16 @@ type Collector struct {
 	// steps t+1..t+10⁹ would grow the buffer without limit.
 	Horizon int
 
+	// Membership, when non-nil, scopes quorums to a roster per epoch:
+	// a message counts toward a quorum only if Membership(step, from)
+	// holds for the step the message claims. Frames from senders
+	// outside the roster in force at that step are dropped and counted
+	// — quorum math is always evaluated against the epoch's roster, so
+	// a node that left (or has not yet joined) at step t can never fill
+	// a slot in step t's aggregation, even if its frames are otherwise
+	// well-formed and authenticated.
+	Membership func(step int, from string) bool
+
 	// Metrics, when non-nil, receives a live atomic mirror of every
 	// counter increment, so an ops scraper reads current values mid-run
 	// while the plain fields below stay single-goroutine.
@@ -42,6 +52,7 @@ type Collector struct {
 
 	droppedFuture    int // messages discarded beyond the horizon
 	droppedMalformed int // chunk frames discarded for inconsistent shard tags
+	droppedRoster    int // messages discarded for being outside the epoch's roster
 	curBytes         int // payload bytes currently buffered
 	peakBytes        int // high-water mark of curBytes
 }
@@ -50,6 +61,13 @@ type Collector struct {
 // orders of magnitude beyond the honest lead (≤ ~2 steps) and still a hard
 // memory cap against step-spraying senders.
 const DefaultHorizon = 64
+
+// ErrQuorumTimeout wraps every quorum-wait expiry from Collect, CollectAny
+// and ShardCollector.Collect, so callers can distinguish "the quorum did
+// not fill in time" (retryable: a pinned round can fail over, a rejoiner
+// can fall back to its checkpoint) from structural failures like a closed
+// endpoint. Match with errors.Is.
+var ErrQuorumTimeout = fmt.Errorf("transport: quorum timeout")
 
 type collectorKey struct {
 	kind Kind
@@ -116,16 +134,16 @@ func (c *Collector) Collect(kind Kind, step, q int, timeout time.Duration) ([]Me
 			//lint:allow-clock deadline bookkeeping for the wall-clock timeout above
 			wait = time.Until(deadline)
 			if wait <= 0 {
-				return nil, fmt.Errorf("transport: quorum timeout: have %d/%d %s messages for step %d",
-					c.Buffered(kind, step), q, kind, step)
+				return nil, fmt.Errorf("%w: have %d/%d %s messages for step %d",
+					ErrQuorumTimeout, c.Buffered(kind, step), q, kind, step)
 			}
 		}
 		m, ok := c.ep.Recv(wait)
 		if !ok {
 			//lint:allow-clock discriminates timeout from closure on the wall-clock deadline
 			if timeout >= 0 && time.Now().After(deadline) {
-				return nil, fmt.Errorf("transport: quorum timeout: have %d/%d %s messages for step %d",
-					c.Buffered(kind, step), q, kind, step)
+				return nil, fmt.Errorf("%w: have %d/%d %s messages for step %d",
+					ErrQuorumTimeout, c.Buffered(kind, step), q, kind, step)
 			}
 			return nil, fmt.Errorf("transport: endpoint closed while collecting %s step %d", kind, step)
 		}
@@ -138,6 +156,77 @@ func (c *Collector) Collect(kind Kind, step, q int, timeout time.Duration) ([]Me
 	c.releaseKey(c.buf[key])
 	delete(c.buf, key)
 	return out, nil
+}
+
+// CollectAny blocks until ANY single step ≥ minStep has q distinct-sender
+// messages of the given kind, and returns those messages (in arrival
+// order) together with the step they belong to. This is the rejoin
+// discovery primitive: a server restarting from a checkpoint does not know
+// how far the live cluster has advanced, so it listens to the traffic in
+// flight and latches onto the first step a full quorum materialises for.
+//
+// Buffering stays bounded by the same horizon as Collect, but the floor
+// is mobile: a message more than a horizon ahead of the current floor
+// advances the floor (flushing everything that fell below it) instead of
+// being dropped, so the rejoiner can catch up to a cluster arbitrarily
+// far ahead of its checkpoint. A Byzantine step-sprayer can therefore
+// delay a rejoin by yanking the floor upward — but never corrupt it,
+// because completion still requires q distinct validated senders agreeing
+// on one step; on timeout the caller falls back to resuming from the
+// checkpoint alone. When several steps complete a quorum simultaneously,
+// the lowest wins, so the rejoiner re-enters the protocol as early as it
+// can.
+func (c *Collector) CollectAny(kind Kind, minStep, q int, timeout time.Duration) ([]Message, int, error) {
+	if q <= 0 {
+		return nil, minStep, nil
+	}
+	floor := minStep
+	var deadline time.Time
+	if timeout >= 0 {
+		//lint:allow-clock Recv timeouts are wall-clock by contract; liveness never decides values
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		// Lowest already-complete step ≥ floor wins.
+		best := -1
+		for key, b := range c.buf {
+			if key.kind == kind && key.step >= floor && len(b.msgs) >= q &&
+				(best < 0 || key.step < best) {
+				best = key.step
+			}
+		}
+		if best >= 0 {
+			key := collectorKey{kind: kind, step: best}
+			out := make([]Message, q)
+			copy(out, c.buf[key].msgs[:q])
+			c.releaseKey(c.buf[key])
+			delete(c.buf, key)
+			return out, best, nil
+		}
+		wait := time.Duration(-1)
+		if timeout >= 0 {
+			//lint:allow-clock deadline bookkeeping for the wall-clock timeout above
+			wait = time.Until(deadline)
+			if wait <= 0 {
+				return nil, 0, fmt.Errorf("%w: rejoin found no step ≥ %d with %d %s messages",
+					ErrQuorumTimeout, floor, q, kind)
+			}
+		}
+		m, ok := c.ep.Recv(wait)
+		if !ok {
+			//lint:allow-clock discriminates timeout from closure on the wall-clock deadline
+			if timeout >= 0 && time.Now().After(deadline) {
+				return nil, 0, fmt.Errorf("%w: rejoin found no step ≥ %d with %d %s messages",
+					ErrQuorumTimeout, floor, q, kind)
+			}
+			return nil, 0, fmt.Errorf("transport: endpoint closed while rejoining on %s", kind)
+		}
+		if m.Kind == kind && m.Step > floor+c.horizon() {
+			floor = m.Step - c.horizon()
+			c.Advance(floor)
+		}
+		c.store(m, floor)
+	}
 }
 
 // Advance drops all buffered messages for steps before the given step, of
@@ -188,6 +277,13 @@ func (c *Collector) store(m Message, currentStep int) {
 		c.droppedFuture++ // step-spraying sender: bound the buffer, count the drop
 		if c.Metrics != nil {
 			c.Metrics.DroppedFuture.Add(1)
+		}
+		return
+	}
+	if c.Membership != nil && !c.Membership(m.Step, m.From) {
+		c.droppedRoster++ // sender outside the roster in force at this step
+		if c.Metrics != nil {
+			c.Metrics.DroppedRoster.Add(1)
 		}
 		return
 	}
@@ -292,6 +388,11 @@ func (c *Collector) DroppedFuture() int { return c.droppedFuture }
 // inconsistent shard tags (changed counts, non-tiling offsets, oversized
 // assemblies). Exposed for tests and monitoring.
 func (c *Collector) DroppedMalformed() int { return c.droppedMalformed }
+
+// DroppedRoster returns how many messages were discarded because their
+// sender was not a member of the roster in force at the message's step.
+// Exposed for tests and monitoring.
+func (c *Collector) DroppedRoster() int { return c.droppedRoster }
 
 // PeakBytes returns the largest number of payload bytes the collector has
 // buffered at once — whole messages awaiting their quorum plus partial

@@ -175,6 +175,12 @@ type ShardCollector struct {
 	// (0 means DefaultHorizon).
 	Horizon int
 
+	// Membership, when non-nil, scopes quorums to a roster per epoch,
+	// exactly as on Collector: a frame counts toward a shard quorum (and
+	// can enter a pinned membership) only if Membership(step, from) holds
+	// for the step the frame claims.
+	Membership func(step int, from string) bool
+
 	// Metrics, when non-nil, receives a live atomic mirror of every
 	// counter increment, exactly as on Collector.
 	Metrics *metrics.NodeMetrics
@@ -182,6 +188,7 @@ type ShardCollector struct {
 	buf              map[collectorKey]*shardStepBuf
 	droppedFuture    int
 	droppedMalformed int
+	droppedRoster    int
 	stored           int
 	curBytes         int
 	peakBytes        int
@@ -221,6 +228,10 @@ func (c *ShardCollector) DroppedFuture() int { return c.droppedFuture }
 // with the shard layout.
 func (c *ShardCollector) DroppedMalformed() int { return c.droppedMalformed }
 
+// DroppedRoster returns how many frames were discarded because their
+// sender was not a member of the roster in force at the frame's step.
+func (c *ShardCollector) DroppedRoster() int { return c.droppedRoster }
+
 // dropMalformed counts one layout-disagreement drop, mirroring it into
 // the live sink when one is attached.
 func (c *ShardCollector) dropMalformed() {
@@ -250,6 +261,22 @@ func (c *ShardCollector) account(delta int) {
 		if c.Metrics != nil {
 			c.Metrics.ObservePeak(c.peakBytes)
 		}
+	}
+}
+
+// ResetRound discards all buffered state for one (kind, step) round —
+// including a decided pinned membership. This is the failover primitive
+// behind the pinned-mode liveness caveat: when a pinned member goes
+// silent mid-round, the round as pinned can never complete, so the
+// caller abandons it, resets, and re-collects with a fresh pin drawn
+// from the senders still alive (after a roster change, the epoch's next
+// roster). Frames already folded into the caller's streamer are gone
+// with the streamer; the retry starts from zero arrivals.
+func (c *ShardCollector) ResetRound(kind Kind, step int) {
+	key := collectorKey{kind: kind, step: step}
+	if b := c.buf[key]; b != nil {
+		c.release(b)
+		delete(c.buf, key)
 	}
 }
 
@@ -334,16 +361,16 @@ func (c *ShardCollector) Collect(kind Kind, step, q int, self tensor.Vector, sel
 			//lint:allow-clock deadline bookkeeping for the wall-clock timeout above
 			wait = time.Until(deadline)
 			if wait <= 0 {
-				return nil, fmt.Errorf("transport: shard quorum timeout: %d/%d %s shards folded for step %d",
-					b.folded, count, kind, step)
+				return nil, fmt.Errorf("%w: %d/%d %s shards folded for step %d",
+					ErrQuorumTimeout, b.folded, count, kind, step)
 			}
 		}
 		m, ok := c.ep.Recv(wait)
 		if !ok {
 			//lint:allow-clock discriminates timeout from closure on the wall-clock deadline
 			if timeout >= 0 && time.Now().After(deadline) {
-				return nil, fmt.Errorf("transport: shard quorum timeout: %d/%d %s shards folded for step %d",
-					b.folded, count, kind, step)
+				return nil, fmt.Errorf("%w: %d/%d %s shards folded for step %d",
+					ErrQuorumTimeout, b.folded, count, kind, step)
 			}
 			return nil, fmt.Errorf("transport: endpoint closed while collecting %s step %d (%d/%d shards)",
 				kind, step, b.folded, count)
@@ -503,6 +530,13 @@ func (c *ShardCollector) store(m Message, currentStep int) {
 		c.droppedFuture++
 		if c.Metrics != nil {
 			c.Metrics.DroppedFuture.Add(1)
+		}
+		return
+	}
+	if c.Membership != nil && !c.Membership(m.Step, m.From) {
+		c.droppedRoster++
+		if c.Metrics != nil {
+			c.Metrics.DroppedRoster.Add(1)
 		}
 		return
 	}

@@ -40,9 +40,16 @@ type TCPNode struct {
 	comp     compress.Config // outbound compression; announced in the hello
 	maxDim   int             // inbound declared-dimension bound (0 = none)
 
+	// announce holds the roster fields this node puts in its own hellos
+	// when dialing (zero = plain member, wire-identical to a v1/v2 hello);
+	// admission, when non-nil, vets every inbound handshake.
+	announce  Hello
+	admission func(Hello) bool
+
 	forged       uint64 // frames dropped for From ≠ hello identity
 	unnegotiated uint64 // compressed frames dropped for an unannounced scheme
 	malformed    uint64 // compressed frames dropped for an undecodable payload
+	unadmitted   uint64 // hello handshakes rejected by the admission check
 
 	// sink, when set, receives a live atomic mirror of the three TCP
 	// hardening counters above (read per-frame in readLoop, hence the
@@ -130,6 +137,11 @@ func (n *TCPNode) DroppedUnnegotiated() uint64 { return atomic.LoadUint64(&n.unn
 // SetCompression bound.
 func (n *TCPNode) DroppedMalformed() uint64 { return atomic.LoadUint64(&n.malformed) }
 
+// DroppedUnadmitted returns how many inbound hello handshakes the
+// admission check rejected — the whole connection is refused, so this
+// counts peers turned away at the door, not individual frames.
+func (n *TCPNode) DroppedUnadmitted() uint64 { return atomic.LoadUint64(&n.unadmitted) }
+
 // DroppedOverflow returns how many inbound frames the bounded mailbox
 // discarded under a drop policy (see SetMailbox).
 func (n *TCPNode) DroppedOverflow() uint64 { return n.box.DroppedOverflow() }
@@ -182,6 +194,31 @@ func (n *TCPNode) SetCompression(cfg compress.Config, maxDim int) error {
 	n.comp = cfg
 	n.maxDim = maxDim
 	return nil
+}
+
+// SetAdmission installs the inbound handshake check: every accepted
+// connection's hello is passed to it, and a false verdict closes the
+// connection before a single frame is read (counted DroppedUnadmitted).
+// This is the sender-auth check extended to membership — the roster
+// decides who may hold a connection at all, not just what a held
+// connection may claim. A nil check admits everyone (the fixed-roster
+// default). Call it between ListenTCP and traffic; connections accepted
+// earlier were vetted by the check in force at their handshake.
+func (n *TCPNode) SetAdmission(check func(Hello) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.admission = check
+}
+
+// SetHelloRoster sets the roster announcement this node carries in its own
+// hellos from the next dial on: a rejoining or newly joining node states
+// its intent and effective step so receivers can admit it against their
+// roster. The zero announcement restores the plain member hello
+// (wire-identical to v1/v2). Existing connections are not re-helloed.
+func (n *TCPNode) SetHelloRoster(intent RosterIntent, effectiveStep int, replaces string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.announce = Hello{Intent: intent, EffectiveStep: effectiveStep, Replaces: replaces}
 }
 
 // Send implements Endpoint: it frames m into the connection's reusable
@@ -267,6 +304,7 @@ func (n *TCPNode) conn(to string) (*tcpConn, error) {
 	}
 	addr, ok := n.peers[to]
 	comp := n.comp
+	announce := n.announce
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown peer %q", to)
@@ -300,8 +338,11 @@ func (n *TCPNode) conn(to string) (*tcpConn, error) {
 
 	// Authenticate the connection before it carries any message: the hello
 	// frame binds everything that follows to this node's identity and
-	// announces which compression schemes it may use.
-	hello, err := appendHello(nil, n.id, comp.CapMask())
+	// announces which compression schemes it may use — plus, when set, the
+	// node's roster intent (join/leave/replace at a step boundary).
+	announce.ID = n.id
+	announce.Caps = comp.CapMask()
+	hello, err := AppendHelloRoster(nil, announce)
 	if err == nil {
 		_, err = raw.Write(hello)
 	}
@@ -360,10 +401,23 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	// The connection speaks only after identifying itself; a stream that
 	// cannot produce a well-formed hello is not a peer.
-	peer, caps, err := readHello(br)
+	hello, err := readHello(br)
 	if err != nil {
 		return
 	}
+	n.mu.Lock()
+	admission := n.admission
+	n.mu.Unlock()
+	if admission != nil && !admission(hello) {
+		// Un-admitted identity or refused roster intent: the connection is
+		// closed at the handshake, before any frame can cost buffer space.
+		atomic.AddUint64(&n.unadmitted, 1)
+		if s := n.sink.Load(); s != nil {
+			s.DroppedUnadmitted.Add(1)
+		}
+		return
+	}
+	peer, caps := hello.ID, hello.Caps
 	// The decoder is per accepted connection, like the sender's encoder is
 	// per outbound connection: a redial replaces both together, so delta
 	// reference state never straddles a reconnect.
